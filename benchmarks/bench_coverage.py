@@ -1,0 +1,76 @@
+"""E7 -- coverage of the surfaced content and coverage estimation.
+
+Paper claims (Section 5.2): the question "what portion of the site has been
+surfaced?" should ideally be answered with "with probability M%, more than
+N% of the site's content has been exposed"; greedy surfacing extracts large
+portions of the underlying databases with light loads, but offers no
+guarantee.  The benchmark measures true coverage against ground truth,
+checks that the capture-recapture estimate brackets it, and produces the
+probabilistic statement.
+"""
+
+from __future__ import annotations
+
+from repro.core.coverage import CoverageEstimator, coverage_curve
+from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro.datagen.domains import domain
+from repro.search.engine import SearchEngine
+from repro.util.rng import SeededRng
+from repro.webspace.sitegen import build_deep_site
+from repro.webspace.web import Web
+
+from conftest import print_table
+
+
+def test_coverage_and_estimation(benchmark):
+    site = build_deep_site(domain("books"), "books.coverage.bench", 250, SeededRng("bench-cov"))
+    web = Web()
+    web.register(site)
+    surfacer = Surfacer(web, SearchEngine(), SurfacingConfig(max_urls_per_form=400))
+
+    result = benchmark.pedantic(surfacer.surface_site, args=(site,), rounds=1, iterations=1)
+
+    report = result.coverage
+    assert report is not None
+    rows = [
+        ("site records (ground truth)", site.size()),
+        ("records exposed by surfacing", report.records_surfaced),
+        ("true coverage", round(report.true_coverage, 3)),
+        ("capture-recapture population estimate", round(report.estimated_total or 0.0, 1)),
+        ("estimated coverage", round(report.estimated_coverage or 0.0, 3)),
+        ("probabilistic statement", report.statement()),
+        ("analysis load (fetches against the site)", result.analysis_load),
+    ]
+    print_table("E7a: coverage of surfaced content", rows)
+
+    # Shape: most of the site is exposed, with a light per-record load, and
+    # the estimate brackets the truth within a reasonable factor.
+    assert report.true_coverage > 0.7
+    assert result.analysis_load < 15 * site.size()
+    if report.estimated_total:
+        assert 0.4 * site.size() < report.estimated_total < 3.0 * site.size()
+    assert report.lower_bound is not None and report.lower_bound <= report.true_coverage + 0.1
+
+
+def test_coverage_grows_with_budget_with_diminishing_returns(benchmark):
+    site = build_deep_site(domain("used_cars"), "cars.coverage.bench", 200, SeededRng("bench-cov2"))
+    web = Web()
+    web.register(site)
+    surfacer = Surfacer(web, SearchEngine(), SurfacingConfig(max_urls_per_form=300))
+    result = surfacer.surface_site(site)
+    record_sets = result.record_sets
+
+    points = benchmark.pedantic(
+        coverage_curve, args=(site, record_sets), kwargs={"step": 10}, rounds=1, iterations=1
+    )
+
+    rows = [(point.urls_fetched, point.records_covered, round(point.true_coverage, 3)) for point in points]
+    print_table("E7b: coverage vs. surfacing budget", rows, header=("urls", "records", "coverage"))
+
+    coverages = [point.true_coverage for point in points]
+    assert coverages == sorted(coverages), "coverage is monotone in the budget"
+    if len(coverages) >= 4:
+        midpoint = len(coverages) // 2
+        first_half_gain = coverages[midpoint] - coverages[0]
+        second_half_gain = coverages[-1] - coverages[midpoint]
+        assert first_half_gain >= second_half_gain, "diminishing returns"

@@ -1,0 +1,62 @@
+"""E1 -- the long-tail impact of deep-web content.
+
+Paper claims (Section 3.2): the top 10,000 forms accounted for only 50% of
+deep-web results and the top 100,000 for 85%, i.e. impact is spread over a
+very long tail of forms; and the impact falls on rare (tail) queries because
+head queries are already served by SEO'd surface sites.
+
+Scaled-down shape to reproduce: the cumulative-share curve over form rank is
+strongly sub-linear (a small fraction of forms does NOT account for all
+impact), and the per-query impact rate is higher on tail queries than on
+head queries.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.longtail import (
+    cumulative_impact_curve,
+    deep_web_impact,
+    forms_needed_for_share,
+    head_tail_split,
+)
+
+from conftest import print_table
+
+
+def test_deep_web_impact_long_tail(surfaced_bench_world, benchmark):
+    world = surfaced_bench_world
+
+    report = benchmark.pedantic(
+        deep_web_impact,
+        args=(world.engine, world.query_log),
+        kwargs={"k": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert report.queries_with_deep_result > 0, "surfacing must impact some queries"
+
+    curve = cumulative_impact_curve(report)
+    total_forms = len(curve)
+    forms_for_50 = forms_needed_for_share(report, 0.50)
+    forms_for_85 = forms_needed_for_share(report, 0.85)
+    split = head_tail_split(report)
+
+    rows = [
+        ("total impacted forms", total_forms),
+        ("forms needed for 50% of deep-web results", forms_for_50),
+        ("forms needed for 85% of deep-web results", forms_for_85),
+        ("share of top 1 form", round(report.share_of_top_forms(1), 3)),
+        ("deep-result rate on head queries", round(split.head_rate, 3)),
+        ("deep-result rate on tail queries", round(split.tail_rate, 3)),
+    ]
+    print_table("E1: long-tail impact of surfaced deep-web content", rows)
+
+    # Shape 1: impact is spread across forms -- more forms are needed for 85%
+    # than for 50%, and one form alone does not cover everything.
+    if total_forms >= 3:
+        assert forms_for_85 >= forms_for_50
+        assert report.share_of_top_forms(1) < 1.0
+
+    # Shape 2: the impact is concentrated on the tail of the query stream.
+    assert split.tail_rate > split.head_rate

@@ -1,0 +1,46 @@
+"""E10 -- the query stream is a power law with a heavy tail (figure-equivalent).
+
+Paper claim (Section 3.2): "the distribution of queries in search engines
+takes the form of a power law with a heavy tail".  The benchmark fits the
+rank-frequency curve of the generated query log and checks both the fit and
+the tail mass.
+"""
+
+from __future__ import annotations
+
+from repro.search.querylog import QueryLogConfig, QueryLogGenerator
+from repro.util.rng import SeededRng
+from repro.util.zipf import fit_power_law, tail_mass
+
+from conftest import print_table
+
+
+def test_query_stream_is_power_law(bench_world, benchmark):
+    generator = QueryLogGenerator(bench_world.web, SeededRng(23))
+
+    log = benchmark.pedantic(
+        generator.generate,
+        args=(QueryLogConfig(total_volume=30000),),
+        rounds=1,
+        iterations=1,
+    )
+
+    frequencies = [frequency for frequency in log.frequencies() if frequency > 0]
+    fit = fit_power_law(frequencies)
+    head_20_mass = 1.0 - tail_mass(frequencies, 20)
+    tail_beyond_100 = tail_mass(frequencies, 100)
+
+    rows = [
+        ("unique queries", len(log)),
+        ("total volume", log.total_volume),
+        ("fitted power-law exponent", round(fit.exponent, 3)),
+        ("log-log R^2", round(fit.r_squared, 3)),
+        ("volume share of top-20 queries", round(head_20_mass, 3)),
+        ("volume share beyond rank 100 (heavy tail)", round(tail_beyond_100, 3)),
+    ]
+    print_table("E10: rank-frequency shape of the generated query stream", rows)
+
+    # Shape: a decaying power law that still leaves substantial tail volume.
+    assert 0.4 < fit.exponent < 2.0
+    assert fit.r_squared > 0.6
+    assert tail_beyond_100 > 0.15

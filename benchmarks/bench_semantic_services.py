@@ -1,0 +1,81 @@
+"""E9 -- semantic services over aggregated structured data.
+
+Paper claims (Section 6): analyzing collections of forms and HTML tables
+yields services -- attribute synonyms, values-for-attribute, entity
+properties, schema auto-complete -- useful for schema matching, form
+filling, information extraction and query expansion.  The benchmark builds
+the corpus from the simulated web and scores the services against the
+domain ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.domains import iter_domains
+from repro.webtables.semantic_server import SemanticServer
+from repro.webtables.services import precision_at_k
+
+from conftest import print_table
+
+
+def _ground_truth_coattributes() -> dict[str, set[str]]:
+    """For each attribute, the attributes that co-occur with it in some domain schema."""
+    truth: dict[str, set[str]] = {}
+    for spec in iter_domains():
+        names = [column.name for column in spec.columns if column.name not in ("id", "description")]
+        for name in names:
+            truth.setdefault(name, set()).update(other for other in names if other != name)
+    return truth
+
+
+def test_semantic_services_quality(bench_world, benchmark):
+    server = benchmark.pedantic(
+        SemanticServer.from_web,
+        args=(bench_world.web,),
+        kwargs={"detail_pages_per_site": 12},
+        rounds=1,
+        iterations=1,
+    )
+
+    truth = _ground_truth_coattributes()
+
+    # Schema auto-complete: rank quality against domain ground truth.
+    autocomplete_cases = [
+        ["make", "model"],
+        ["bedrooms", "bathrooms"],
+        ["title", "author"],
+        ["city", "state"],
+    ]
+    autocomplete_scores = []
+    for given in autocomplete_cases:
+        anchor = given[0]
+        if server.acsdb.frequency(anchor) == 0:
+            continue
+        suggestions = server.autocomplete(given, limit=5)
+        relevant = truth.get(anchor, set())
+        autocomplete_scores.append(precision_at_k(suggestions, relevant, 3))
+    mean_autocomplete = sum(autocomplete_scores) / max(1, len(autocomplete_scores))
+
+    # Values-for-attribute: can we fill a form input from the corpus?
+    value_counts = {
+        attribute: len(server.values(attribute))
+        for attribute in ("make", "city", "genre", "category")
+        if server.values(attribute)
+    }
+
+    # Entity properties.
+    properties_for_toyota = [scored.name for scored in server.properties("Toyota", limit=5)]
+
+    rows = [
+        ("corpus tables", len(server.corpus)),
+        ("distinct attributes", len(server.acsdb.attributes())),
+        ("schema auto-complete mean precision@3", round(mean_autocomplete, 3)),
+        ("attributes with harvested value lists", ", ".join(f"{k}:{v}" for k, v in value_counts.items())),
+        ("properties suggested for entity 'Toyota'", ", ".join(properties_for_toyota)),
+    ]
+    print_table("E9: semantic services built from the aggregated corpus", rows)
+
+    assert len(server.corpus) > 20
+    assert mean_autocomplete > 0.5
+    assert value_counts.get("make", 0) >= 5
+    if properties_for_toyota:
+        assert set(properties_for_toyota) & {"model", "price", "year", "mileage", "color", "body_style"}

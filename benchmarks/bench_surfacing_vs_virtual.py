@@ -1,0 +1,124 @@
+"""E6 -- surfacing vs. virtual integration.
+
+Paper claims (Section 3): surfacing answers "fortuitous" queries that
+routing-based virtual integration misses (the content matches even though
+the form's domain model would never route the query there); surfacing's load
+on form sites is off-line and amortized, while imprecise routing loads sites
+at query time; and virtual integration's strength is richer, structured
+slice-and-dice within its vertical.
+"""
+
+from __future__ import annotations
+
+from repro.search.engine import SOURCE_SURFACED
+from repro.search.querylog import KIND_TAIL
+from repro.virtual.vertical import VerticalSearchEngine
+from repro.webspace.loadmeter import AGENT_SURFACER, AGENT_VIRTUAL
+
+from conftest import print_table
+
+
+def _tail_queries(world, limit: int = 60):
+    return [query for query in world.query_log.by_kind(KIND_TAIL)][:limit]
+
+
+def test_surfacing_vs_virtual_on_tail_queries(surfaced_bench_world, benchmark):
+    world = surfaced_bench_world
+    vertical = VerticalSearchEngine(world.web, domain=None, max_sources_per_query=3)
+    vertical.register_sites(world.web.deep_sites())
+    queries = _tail_queries(world)
+
+    def run() -> tuple[int, int, int]:
+        surfacing_answered = 0
+        virtual_answered = 0
+        virtual_fetches = 0
+        for query in queries:
+            results = world.engine.search(query.text, k=10)
+            if any(result.source == SOURCE_SURFACED for result in results):
+                surfacing_answered += 1
+            answer = vertical.keyword_query(query.text)
+            virtual_fetches += answer.fetches_issued
+            if answer.answered:
+                virtual_answered += 1
+        return surfacing_answered, virtual_answered, virtual_fetches
+
+    surfacing_answered, virtual_answered, virtual_fetches = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    surfacer_load = world.web.load_meter.total(agent=AGENT_SURFACER)
+    virtual_load = world.web.load_meter.total(agent=AGENT_VIRTUAL)
+    deep_sites = max(1, len(world.web.deep_sites()))
+
+    rows = [
+        ("tail queries evaluated", len(queries)),
+        ("answered via surfacing (deep page in top 10)", surfacing_answered),
+        ("answered via virtual integration (routing + reformulation)", virtual_answered),
+        ("query-time fetches issued by virtual integration", virtual_fetches),
+        ("total off-line surfacing load (all sites, one-time)", surfacer_load),
+        ("  per site", round(surfacer_load / deep_sites, 1)),
+        ("query-time fetches per answered virtual query", round(virtual_fetches / max(1, virtual_answered), 2)),
+    ]
+    print_table("E6: surfacing vs. virtual integration on tail queries", rows)
+
+    # Shape 1: surfacing answers at least as many tail queries as the
+    # routing-based virtual approach (fortuitous answering).
+    assert surfacing_answered >= virtual_answered
+    assert surfacing_answered > 0
+
+    # Shape 2: virtual integration pays per-query site fetches; surfacing pays
+    # nothing at query time (its load was spent off-line).
+    assert virtual_fetches > 0
+
+
+def test_fortuitous_queries_favor_surfacing(surfaced_bench_world):
+    """Content-specific queries with no domain vocabulary: surfacing can still
+    answer them, routing cannot."""
+    world = surfaced_bench_world
+    vertical = VerticalSearchEngine(world.web, domain=None)
+    vertical.register_sites(world.web.deep_sites())
+
+    surfaced_site = next(
+        world.web.site(result.host)
+        for result in world.surfacing_results
+        if result.urls_indexed > 0
+    )
+    table = next(iter(surfaced_site.database.tables()))
+    fortuitous = []
+    for key in table.primary_keys()[:15]:
+        record = table.get(key)
+        words = [word for word in str(record["description"]).split() if len(word) > 4][:3]
+        fortuitous.append(" ".join(words))
+
+    surfacing_hits = 0
+    virtual_hits = 0
+    for query in fortuitous:
+        if any(r.source == SOURCE_SURFACED for r in world.engine.search(query, k=10)):
+            surfacing_hits += 1
+        if vertical.keyword_query(query).answered:
+            virtual_hits += 1
+
+    rows = [
+        ("fortuitous queries", len(fortuitous)),
+        ("answered by surfacing", surfacing_hits),
+        ("answered by virtual integration", virtual_hits),
+    ]
+    print_table("E6b: fortuitous query answering", rows)
+    assert surfacing_hits > virtual_hits
+
+
+def test_virtual_integration_supports_structured_slicing(surfaced_bench_world):
+    """Where virtual integration wins: structured queries within a vertical."""
+    world = surfaced_bench_world
+    cars = [site for site in world.web.deep_sites() if site.domain_name == "used_cars"]
+    if not cars:
+        return  # the small world may not contain a used-car site
+    vertical = VerticalSearchEngine(world.web, domain="used_cars")
+    vertical.register_sites(cars)
+    answer = vertical.structured_query({"color": "red"})
+    rows = [
+        ("used-car sources integrated", vertical.source_count),
+        ("records returned for color=red", len(answer.records)),
+    ]
+    print_table("E6c: structured slice-and-dice in the vertical", rows)
+    assert all(record.get("color") == "red" for record in answer.records)

@@ -1,0 +1,72 @@
+"""E5 -- generated URLs scale with database size, not with the query space.
+
+Paper claim (Section 3.2, citing the PVLDB 2008 paper): "the number of URLs
+our algorithms generate is proportional to the size of the underlying
+database, rather than the number of possible queries".
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.form_model import discover_forms
+from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro.datagen.domains import domain
+from repro.search.engine import SearchEngine
+from repro.util.rng import SeededRng
+from repro.webspace.sitegen import build_deep_site
+from repro.webspace.web import Web
+
+from conftest import print_table
+
+SIZES = [50, 150, 400]
+
+
+def _query_space(web, site) -> int:
+    """The Cartesian query space of the site's form (select options only)."""
+    form = discover_forms(web.fetch(site.homepage_url()))[0]
+    space = 1
+    for spec in form.select_inputs:
+        space *= max(1, len(spec.options) + 1)
+    return space
+
+
+def test_urls_scale_with_database_size(benchmark):
+    def run() -> list[tuple[int, int, int, int]]:
+        measurements = []
+        for size in SIZES:
+            site = build_deep_site(
+                domain("used_cars"), f"cars{size}.scaling.bench", size, SeededRng(f"scale-{size}")
+            )
+            web = Web()
+            web.register(site)
+            config = SurfacingConfig(max_urls_per_form=5000, max_values_per_input=30)
+            result = Surfacer(web, SearchEngine(), config).surface_site(site)
+            measurements.append(
+                (size, result.urls_generated, result.urls_indexed, _query_space(web, site))
+            )
+        return measurements
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (size, urls, indexed, query_space, round(urls / size, 2))
+        for size, urls, indexed, query_space in measurements
+    ]
+    print_table(
+        "E5: surfaced URLs vs. database size vs. query space",
+        rows,
+        header=("db size", "urls generated", "urls indexed", "query space", "urls per record"),
+    )
+
+    # Shape 1: URL counts stay far below the Cartesian query space.
+    for _size, urls, _indexed, query_space in measurements:
+        assert urls < 0.2 * query_space
+
+    # Shape 2: URL counts grow with database size (roughly proportionally):
+    # the per-record ratio stays within a narrow band across a ~one-order-of-
+    # magnitude size range, rather than exploding or collapsing.
+    ratios = [urls / size for size, urls, _indexed, _space in measurements]
+    assert max(ratios) / max(1e-9, min(ratios)) < 6.0
+    urls_by_size = [urls for _size, urls, _indexed, _space in measurements]
+    assert urls_by_size == sorted(urls_by_size), "more records -> at least as many URLs"

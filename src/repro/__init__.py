@@ -1,0 +1,25 @@
+"""Reproduction of "Harnessing the Deep Web: Present and Future" (CIDR 2009).
+
+The package implements, over a fully simulated web:
+
+* ``repro.relational`` -- the in-memory relational engine backing every
+  deep-web site.
+* ``repro.datagen`` -- seeded synthetic data for ~10 content domains.
+* ``repro.webspace`` -- deep-web sites (HTML forms + backend databases),
+  surface-web sites, and the ``Web`` fetch interface with load metering.
+* ``repro.htmlparse`` -- DOM construction and form/link/table extraction.
+* ``repro.search`` -- an inverted-index (BM25) search engine, a crawler and
+  a power-law query-log generator.
+* ``repro.core`` -- the paper's contribution: the surfacing pipeline
+  (typed-input recognition, iterative probing, informative query templates,
+  correlated inputs, URL generation with an indexability criterion,
+  coverage estimation, annotation and extraction of surfaced pages).
+* ``repro.virtual`` -- the virtual-integration baseline (mediated schemas,
+  form matching, routing, reformulation, wrappers, vertical search).
+* ``repro.webtables`` -- the WebTables-style corpus and semantic services.
+* ``repro.analysis`` -- long-tail impact analysis and experiment harnesses.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Experiment-facing analysis: deep-web impact, long-tail curves, harness helpers."""
+
+from repro.analysis.longtail import (
+    FormImpact,
+    ImpactReport,
+    cumulative_impact_curve,
+    deep_web_impact,
+)
+from repro.analysis.experiments import (
+    ExperimentWorld,
+    build_query_log,
+    build_world,
+    surface_world,
+)
+
+__all__ = [
+    "FormImpact",
+    "ImpactReport",
+    "deep_web_impact",
+    "cumulative_impact_curve",
+    "ExperimentWorld",
+    "build_world",
+    "surface_world",
+    "build_query_log",
+]

@@ -1,0 +1,136 @@
+"""Result-page signatures and the informativeness test.
+
+Following the approach of Google's deep-web crawl, the surfacer decides
+whether an input (or a query template) is worth using by checking whether
+different value assignments produce *distinct* result pages.  A page
+signature captures what matters for that comparison: whether the page is an
+error / empty-results page, how many results it reports, and which records
+(detail links) it lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.htmlparse.dom import parse_html
+from repro.htmlparse.links import extract_links
+from repro.htmlparse.text import extract_text
+from repro.util.text import normalize
+from repro.webspace.url import Url
+
+_RESULT_COUNT_RE = re.compile(r"(\d+)\s+results?\s+found", re.IGNORECASE)
+_NO_RESULTS_RE = re.compile(r"no\s+results\s+found", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class PageSignature:
+    """A compact, comparable summary of a result page."""
+
+    content_hash: str
+    result_count: int
+    record_ids: frozenset[str]
+    is_error: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        return self.result_count == 0 and not self.record_ids
+
+    def distinct_from(self, other: "PageSignature") -> bool:
+        """Whether two signatures correspond to observably different pages."""
+        if self.is_error or other.is_error:
+            return False
+        if self.record_ids or other.record_ids:
+            return self.record_ids != other.record_ids
+        return self.content_hash != other.content_hash
+
+
+def record_ids_from_links(links: Iterable[str]) -> frozenset[str]:
+    """Record identifiers referenced by detail-page links on a result page."""
+    ids = set()
+    for link in links:
+        url = Url.parse(link)
+        if url.path.rstrip("/").endswith("item"):
+            record_id = url.param("id")
+            if record_id is not None:
+                ids.add(f"{url.host}#{record_id}")
+    return frozenset(ids)
+
+
+def signature_of(html: str, status_ok: bool = True) -> PageSignature:
+    """Compute the signature of a result page from its HTML."""
+    if not status_ok:
+        return PageSignature(content_hash="error", result_count=0, record_ids=frozenset(), is_error=True)
+    dom = parse_html(html)
+    text = extract_text(dom)
+    normalized = normalize(text)
+    match = _RESULT_COUNT_RE.search(text)
+    if match:
+        result_count = int(match.group(1))
+    elif _NO_RESULTS_RE.search(text):
+        result_count = 0
+    else:
+        # No explicit banner: fall back to counting listed records.
+        result_count = -1
+    links = extract_links(dom, page_url=None)
+    # extract_links needs a base for relative links; re-run with a dummy base
+    # when nothing absolute was found.
+    record_ids = record_ids_from_links(links)
+    if result_count == -1:
+        result_count = len(record_ids)
+    digest = hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:16]
+    is_error = "404 not found" in normalized or "405 method not allowed" in normalized or "500 server error" in normalized
+    return PageSignature(
+        content_hash=digest,
+        result_count=max(0, result_count),
+        record_ids=record_ids,
+        is_error=is_error,
+    )
+
+
+def signature_for_page(html: str, page_url: str) -> PageSignature:
+    """Like :func:`signature_of` but resolves relative detail links against the page URL."""
+    dom = parse_html(html)
+    text = extract_text(dom)
+    normalized = normalize(text)
+    match = _RESULT_COUNT_RE.search(text)
+    if match:
+        result_count = int(match.group(1))
+    elif _NO_RESULTS_RE.search(text):
+        result_count = 0
+    else:
+        result_count = -1
+    record_ids = record_ids_from_links(extract_links(dom, page_url=page_url))
+    if result_count == -1:
+        result_count = len(record_ids)
+    digest = hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:16]
+    is_error = "404 not found" in normalized or "405 method not allowed" in normalized or "500 server error" in normalized
+    return PageSignature(
+        content_hash=digest,
+        result_count=max(0, result_count),
+        record_ids=record_ids,
+        is_error=is_error,
+    )
+
+
+def distinct_signature_fraction(signatures: Sequence[PageSignature]) -> float:
+    """Fraction of probes yielding distinct, non-error, non-empty pages.
+
+    This is the informativeness measure: an input (or template) whose values
+    mostly produce the same page -- or error / empty pages -- is not worth
+    enumerating.
+    """
+    if not signatures:
+        return 0.0
+    useful = [sig for sig in signatures if not sig.is_error and not sig.is_empty]
+    if not useful:
+        return 0.0
+    distinct_keys = {(sig.record_ids, sig.content_hash) for sig in useful}
+    return len(distinct_keys) / len(signatures)
+
+
+def is_informative(signatures: Sequence[PageSignature], threshold: float = 0.25) -> bool:
+    """The informativeness test: enough distinct result pages across probes."""
+    return distinct_signature_fraction(signatures) >= threshold

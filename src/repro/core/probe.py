@@ -1,0 +1,72 @@
+"""Form probing: submit candidate bindings and summarize the result page.
+
+All off-line analysis traffic (probing and surfacing) goes through the
+:class:`FormProber`, which uses the ``surfacer`` agent so that per-site
+analysis load is measurable and the paper's "light load" claim can be
+checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.form_model import SurfacingForm
+from repro.core.informativeness import PageSignature, signature_of
+from repro.webspace.loadmeter import AGENT_SURFACER
+from repro.webspace.page import WebPage
+from repro.webspace.url import Url
+from repro.webspace.web import Web
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one probe submission."""
+
+    url: Url
+    page: WebPage
+    signature: PageSignature
+
+    @property
+    def ok(self) -> bool:
+        return self.page.ok
+
+    @property
+    def result_count(self) -> int:
+        return self.signature.result_count
+
+    @property
+    def has_results(self) -> bool:
+        return self.page.ok and self.signature.result_count > 0
+
+
+class FormProber:
+    """Submits form bindings and caches the signatures of the result pages."""
+
+    def __init__(self, web: Web, agent: str = AGENT_SURFACER) -> None:
+        self.web = web
+        self.agent = agent
+        self._cache: dict[str, ProbeResult] = {}
+        self.probe_count = 0
+
+    def probe(self, form: SurfacingForm, bindings: Mapping[str, str]) -> ProbeResult:
+        """Submit ``bindings`` to ``form`` and return the probe result.
+
+        Identical submissions are served from a cache so repeated
+        informativeness tests do not inflate site load.
+        """
+        url = form.submission_url(bindings)
+        key = str(url)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        page = self.web.fetch(url, agent=self.agent)
+        self.probe_count += 1
+        result = ProbeResult(url=url, page=page, signature=signature_of(page.html))
+        self._cache[key] = result
+        return result
+
+    def fetch(self, url: Url) -> WebPage:
+        """Fetch an arbitrary URL with the surfacer agent (uncached)."""
+        self.probe_count += 1
+        return self.web.fetch(url, agent=self.agent)

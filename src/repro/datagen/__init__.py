@@ -1,0 +1,21 @@
+"""Synthetic structured data for the simulated web.
+
+The paper's system ran over hundreds of content domains; the reproduction
+ships a representative set of ~10 domains (used cars, real estate, jobs,
+recipes, books, events, government documents, store locators, apartments and
+a multi-database media catalog) with seeded row generators, so that every
+experiment is deterministic.
+"""
+
+from repro.datagen.domains import DomainSpec, domain, domain_names, iter_domains
+from repro.datagen.generators import generate_rows
+from repro.datagen import vocab
+
+__all__ = [
+    "DomainSpec",
+    "domain",
+    "domain_names",
+    "iter_domains",
+    "generate_rows",
+    "vocab",
+]

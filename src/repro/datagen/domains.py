@@ -1,0 +1,365 @@
+"""Domain specifications.
+
+A :class:`DomainSpec` describes one content domain of the simulated deep web:
+the backend table schema, which columns the site's HTML form exposes as
+select menus, which are typed text boxes (zip code, city, date, price),
+which numeric columns get min/max *range* input pairs, and whether the form
+carries a generic keyword search box.  Site generation
+(:mod:`repro.webspace.sitegen`) turns a spec plus generated rows into a
+working deep-web site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.relational.schema import Column, DataType, TableSchema
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Static description of one content domain."""
+
+    name: str
+    table_name: str
+    entity_name: str
+    columns: tuple[Column, ...]
+    title_column: str
+    select_inputs: tuple[str, ...] = ()
+    typed_text_inputs: Mapping[str, str] = field(default_factory=dict)
+    range_inputs: tuple[str, ...] = ()
+    has_search_box: bool = True
+    search_columns: tuple[str, ...] = ()
+    category_column: str | None = None
+    commercial_value: float = 0.5
+    description: str = ""
+
+    def schema(self) -> TableSchema:
+        """Build the relational schema for this domain's backing table."""
+        return TableSchema(
+            name=self.table_name,
+            columns=list(self.columns),
+            primary_key="id",
+        )
+
+    @property
+    def form_columns(self) -> list[str]:
+        """All columns exposed through the form in one way or another."""
+        exposed = list(self.select_inputs)
+        exposed.extend(self.typed_text_inputs.keys())
+        exposed.extend(self.range_inputs)
+        return exposed
+
+
+def _col(name: str, dtype: DataType, searchable: bool = False) -> Column:
+    return Column(name=name, dtype=dtype, searchable=searchable)
+
+
+_DOMAINS: dict[str, DomainSpec] = {}
+
+
+def _register(spec: DomainSpec) -> DomainSpec:
+    _DOMAINS[spec.name] = spec
+    return spec
+
+
+USED_CARS = _register(
+    DomainSpec(
+        name="used_cars",
+        table_name="listings",
+        entity_name="listing",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("make", DataType.CATEGORY),
+            _col("model", DataType.CATEGORY),
+            _col("year", DataType.INTEGER),
+            _col("price", DataType.INTEGER),
+            _col("mileage", DataType.INTEGER),
+            _col("color", DataType.CATEGORY),
+            _col("body_style", DataType.CATEGORY),
+            _col("city", DataType.CATEGORY),
+            _col("state", DataType.CATEGORY),
+            _col("zipcode", DataType.ZIPCODE),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("make", "color", "body_style"),
+        typed_text_inputs={"zipcode": "zipcode", "city": "city"},
+        range_inputs=("price", "mileage", "year"),
+        has_search_box=True,
+        search_columns=("title", "description"),
+        commercial_value=0.9,
+        description="Classified listings of used cars for sale.",
+    )
+)
+
+REAL_ESTATE = _register(
+    DomainSpec(
+        name="real_estate",
+        table_name="properties",
+        entity_name="property",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("property_type", DataType.CATEGORY),
+            _col("bedrooms", DataType.INTEGER),
+            _col("bathrooms", DataType.INTEGER),
+            _col("price", DataType.INTEGER),
+            _col("sqft", DataType.INTEGER),
+            _col("city", DataType.CATEGORY),
+            _col("state", DataType.CATEGORY),
+            _col("zipcode", DataType.ZIPCODE),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("property_type", "bedrooms"),
+        typed_text_inputs={"zipcode": "zipcode", "city": "city"},
+        range_inputs=("price", "sqft"),
+        has_search_box=True,
+        search_columns=("title", "description"),
+        commercial_value=0.9,
+        description="Residential real-estate listings.",
+    )
+)
+
+APARTMENTS = _register(
+    DomainSpec(
+        name="apartments",
+        table_name="rentals",
+        entity_name="rental",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("bedrooms", DataType.INTEGER),
+            _col("rent", DataType.INTEGER),
+            _col("sqft", DataType.INTEGER),
+            _col("pet_friendly", DataType.CATEGORY),
+            _col("amenity", DataType.CATEGORY),
+            _col("city", DataType.CATEGORY),
+            _col("state", DataType.CATEGORY),
+            _col("zipcode", DataType.ZIPCODE),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("bedrooms", "pet_friendly", "amenity"),
+        typed_text_inputs={"zipcode": "zipcode", "city": "city"},
+        range_inputs=("rent",),
+        has_search_box=True,
+        search_columns=("title", "description"),
+        commercial_value=0.8,
+        description="Apartment rental listings.",
+    )
+)
+
+JOBS = _register(
+    DomainSpec(
+        name="jobs",
+        table_name="postings",
+        entity_name="posting",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("company", DataType.TEXT, searchable=True),
+            _col("category", DataType.CATEGORY),
+            _col("city", DataType.CATEGORY),
+            _col("state", DataType.CATEGORY),
+            _col("salary", DataType.INTEGER),
+            _col("posted_date", DataType.DATE),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("category", "state"),
+        typed_text_inputs={"city": "city", "posted_date": "date"},
+        range_inputs=("salary",),
+        has_search_box=True,
+        search_columns=("title", "company", "description"),
+        commercial_value=0.8,
+        description="Job postings searchable by category, location and salary.",
+    )
+)
+
+RECIPES = _register(
+    DomainSpec(
+        name="recipes",
+        table_name="recipes",
+        entity_name="recipe",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("cuisine", DataType.CATEGORY),
+            _col("main_ingredient", DataType.CATEGORY),
+            _col("prep_minutes", DataType.INTEGER),
+            _col("calories", DataType.INTEGER),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("cuisine", "main_ingredient"),
+        typed_text_inputs={},
+        range_inputs=("prep_minutes", "calories"),
+        has_search_box=True,
+        search_columns=("title", "description"),
+        commercial_value=0.4,
+        description="Recipe collections searchable by cuisine and ingredient.",
+    )
+)
+
+BOOKS = _register(
+    DomainSpec(
+        name="books",
+        table_name="books",
+        entity_name="book",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("author", DataType.TEXT, searchable=True),
+            _col("genre", DataType.CATEGORY),
+            _col("year", DataType.INTEGER),
+            _col("price", DataType.INTEGER),
+            _col("isbn", DataType.TEXT),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("genre",),
+        typed_text_inputs={},
+        range_inputs=("price", "year"),
+        has_search_box=True,
+        search_columns=("title", "author", "description"),
+        commercial_value=0.6,
+        description="Library / bookstore catalogs.",
+    )
+)
+
+EVENTS = _register(
+    DomainSpec(
+        name="events",
+        table_name="events",
+        entity_name="event",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("category", DataType.CATEGORY),
+            _col("venue", DataType.TEXT, searchable=True),
+            _col("city", DataType.CATEGORY),
+            _col("state", DataType.CATEGORY),
+            _col("event_date", DataType.DATE),
+            _col("price", DataType.INTEGER),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("category",),
+        typed_text_inputs={"city": "city", "event_date": "date"},
+        range_inputs=("price",),
+        has_search_box=True,
+        search_columns=("title", "venue", "description"),
+        commercial_value=0.6,
+        description="Local event calendars.",
+    )
+)
+
+GOVERNMENT = _register(
+    DomainSpec(
+        name="government",
+        table_name="documents",
+        entity_name="document",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("agency", DataType.CATEGORY),
+            _col("topic", DataType.CATEGORY),
+            _col("kind", DataType.CATEGORY),
+            _col("state", DataType.CATEGORY),
+            _col("year", DataType.INTEGER),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("agency", "topic", "kind"),
+        typed_text_inputs={},
+        range_inputs=("year",),
+        has_search_box=True,
+        search_columns=("title", "description"),
+        commercial_value=0.1,
+        description=(
+            "Government and NGO document portals: rules, regulations and survey "
+            "results -- the paper's prime example of valuable long-tail content."
+        ),
+    )
+)
+
+STORE_LOCATOR = _register(
+    DomainSpec(
+        name="store_locator",
+        table_name="stores",
+        entity_name="store",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("category", DataType.CATEGORY),
+            _col("city", DataType.CATEGORY),
+            _col("state", DataType.CATEGORY),
+            _col("zipcode", DataType.ZIPCODE),
+            _col("phone", DataType.TEXT),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("category",),
+        typed_text_inputs={"zipcode": "zipcode", "city": "city"},
+        range_inputs=(),
+        has_search_box=False,
+        search_columns=("title", "description"),
+        commercial_value=0.5,
+        description="Store locators searched by zip code -- the canonical typed-input form.",
+    )
+)
+
+MEDIA_CATALOG = _register(
+    DomainSpec(
+        name="media_catalog",
+        table_name="items",
+        entity_name="item",
+        columns=(
+            _col("id", DataType.INTEGER),
+            _col("title", DataType.TEXT, searchable=True),
+            _col("category", DataType.CATEGORY),
+            _col("genre", DataType.CATEGORY),
+            _col("creator", DataType.TEXT, searchable=True),
+            _col("year", DataType.INTEGER),
+            _col("price", DataType.INTEGER),
+            _col("description", DataType.TEXT, searchable=True),
+        ),
+        title_column="title",
+        select_inputs=("category",),
+        typed_text_inputs={},
+        range_inputs=(),
+        has_search_box=True,
+        search_columns=("title", "creator", "description"),
+        category_column="category",
+        commercial_value=0.7,
+        description=(
+            "A multi-database catalog (movies / music / software / games) whose "
+            "select menu chooses the underlying database -- the paper's "
+            "database-selection correlation pattern."
+        ),
+    )
+)
+
+
+def domain(name: str) -> DomainSpec:
+    """Look up a registered domain spec by name."""
+    try:
+        return _DOMAINS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown domain {name!r}; known domains: {', '.join(sorted(_DOMAINS))}"
+        ) from None
+
+
+def domain_names() -> list[str]:
+    """Names of all registered domains."""
+    return sorted(_DOMAINS.keys())
+
+
+def iter_domains() -> Iterable[DomainSpec]:
+    """Iterate all registered domain specs (sorted by name)."""
+    return [_DOMAINS[name] for name in domain_names()]

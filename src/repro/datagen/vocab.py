@@ -1,0 +1,377 @@
+"""Vocabularies used by the synthetic data generators.
+
+Everything here is a plain Python constant so that data generation is
+deterministic and the test-suite can assert against known values.  The lists
+are intentionally modest in size -- big enough for realistic variety and
+meaningful IR behaviour, small enough to keep experiments fast.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Geography: (city, state abbreviation, zip code prefix)
+# ---------------------------------------------------------------------------
+
+CITIES: list[tuple[str, str, str]] = [
+    ("New York", "NY", "100"),
+    ("Los Angeles", "CA", "900"),
+    ("Chicago", "IL", "606"),
+    ("Houston", "TX", "770"),
+    ("Phoenix", "AZ", "850"),
+    ("Philadelphia", "PA", "191"),
+    ("San Antonio", "TX", "782"),
+    ("San Diego", "CA", "921"),
+    ("Dallas", "TX", "752"),
+    ("San Jose", "CA", "951"),
+    ("Austin", "TX", "787"),
+    ("Jacksonville", "FL", "322"),
+    ("Columbus", "OH", "432"),
+    ("Fort Worth", "TX", "761"),
+    ("Charlotte", "NC", "282"),
+    ("Seattle", "WA", "981"),
+    ("Denver", "CO", "802"),
+    ("Boston", "MA", "021"),
+    ("Portland", "OR", "972"),
+    ("Nashville", "TN", "372"),
+    ("Detroit", "MI", "482"),
+    ("Memphis", "TN", "381"),
+    ("Baltimore", "MD", "212"),
+    ("Milwaukee", "WI", "532"),
+    ("Albuquerque", "NM", "871"),
+    ("Tucson", "AZ", "857"),
+    ("Fresno", "CA", "937"),
+    ("Sacramento", "CA", "958"),
+    ("Kansas City", "MO", "641"),
+    ("Atlanta", "GA", "303"),
+    ("Omaha", "NE", "681"),
+    ("Raleigh", "NC", "276"),
+    ("Miami", "FL", "331"),
+    ("Oakland", "CA", "946"),
+    ("Minneapolis", "MN", "554"),
+    ("Tulsa", "OK", "741"),
+    ("Cleveland", "OH", "441"),
+    ("Wichita", "KS", "672"),
+    ("Arlington", "TX", "760"),
+    ("New Orleans", "LA", "701"),
+    ("Bakersfield", "CA", "933"),
+    ("Tampa", "FL", "336"),
+    ("Aurora", "CO", "800"),
+    ("Anaheim", "CA", "928"),
+    ("Santa Ana", "CA", "927"),
+    ("St Louis", "MO", "631"),
+    ("Pittsburgh", "PA", "152"),
+    ("Cincinnati", "OH", "452"),
+    ("Anchorage", "AK", "995"),
+    ("Henderson", "NV", "890"),
+    ("Greensboro", "NC", "274"),
+    ("Plano", "TX", "750"),
+    ("Newark", "NJ", "071"),
+    ("Lincoln", "NE", "685"),
+    ("Toledo", "OH", "436"),
+    ("Orlando", "FL", "328"),
+    ("Chula Vista", "CA", "919"),
+    ("Jersey City", "NJ", "073"),
+    ("Chandler", "AZ", "852"),
+    ("Madison", "WI", "537"),
+]
+
+CITY_NAMES: list[str] = [city for city, _, _ in CITIES]
+
+US_STATES: list[str] = sorted({state for _, state, _ in CITIES})
+
+STATE_NAMES: dict[str, str] = {
+    "AK": "Alaska", "AZ": "Arizona", "CA": "California", "CO": "Colorado",
+    "FL": "Florida", "GA": "Georgia", "IL": "Illinois", "KS": "Kansas",
+    "LA": "Louisiana", "MA": "Massachusetts", "MD": "Maryland", "MI": "Michigan",
+    "MN": "Minnesota", "MO": "Missouri", "NC": "North Carolina", "NE": "Nebraska",
+    "NJ": "New Jersey", "NM": "New Mexico", "NV": "Nevada", "NY": "New York",
+    "OH": "Ohio", "OK": "Oklahoma", "OR": "Oregon", "PA": "Pennsylvania",
+    "TN": "Tennessee", "TX": "Texas", "WA": "Washington", "WI": "Wisconsin",
+}
+
+COUNTRIES: list[str] = [
+    "United States", "Canada", "Mexico", "Brazil", "United Kingdom", "France",
+    "Germany", "Spain", "Italy", "Netherlands", "Sweden", "Poland", "India",
+    "China", "Japan", "South Korea", "Australia", "New Zealand", "South Africa",
+    "Egypt", "Nigeria", "Kenya", "Argentina", "Chile", "Peru",
+]
+
+
+def zipcode_for(city: str, suffix: int) -> str:
+    """A deterministic 5-digit zip code for a known city.
+
+    The prefix comes from the city's real zip prefix; the suffix cycles
+    through 0-99, so each city contributes up to 100 distinct codes.
+    """
+    for name, _, prefix in CITIES:
+        if name == city:
+            return f"{prefix}{suffix % 100:02d}"
+    raise KeyError(f"unknown city: {city}")
+
+
+ALL_ZIPCODES: list[str] = [
+    f"{prefix}{suffix:02d}" for _, _, prefix in CITIES for suffix in range(0, 100, 10)
+]
+
+# ---------------------------------------------------------------------------
+# Vehicles
+# ---------------------------------------------------------------------------
+
+CAR_MAKES_MODELS: dict[str, list[str]] = {
+    "Toyota": ["Camry", "Corolla", "Prius", "Rav4", "Highlander", "Tacoma"],
+    "Honda": ["Civic", "Accord", "CRV", "Pilot", "Fit", "Odyssey"],
+    "Ford": ["Focus", "Fusion", "Escape", "Explorer", "F150", "Mustang"],
+    "Chevrolet": ["Malibu", "Impala", "Cruze", "Equinox", "Silverado", "Tahoe"],
+    "Nissan": ["Altima", "Sentra", "Maxima", "Rogue", "Pathfinder", "Leaf"],
+    "BMW": ["328i", "535i", "X3", "X5", "M3", "Z4"],
+    "Mercedes": ["C300", "E350", "GLC", "GLE", "S500", "CLA"],
+    "Volkswagen": ["Jetta", "Passat", "Golf", "Tiguan", "Beetle", "Atlas"],
+    "Hyundai": ["Elantra", "Sonata", "Santa Fe", "Tucson", "Accent", "Kona"],
+    "Subaru": ["Outback", "Forester", "Impreza", "Legacy", "Crosstrek", "WRX"],
+    "Kia": ["Optima", "Sorento", "Soul", "Sportage", "Rio", "Forte"],
+    "Audi": ["A4", "A6", "Q5", "Q7", "A3", "TT"],
+}
+
+CAR_MAKES: list[str] = list(CAR_MAKES_MODELS.keys())
+
+CAR_COLORS: list[str] = [
+    "black", "white", "silver", "gray", "red", "blue", "green", "beige",
+    "brown", "orange", "yellow", "maroon",
+]
+
+CAR_BODY_STYLES: list[str] = [
+    "sedan", "coupe", "hatchback", "wagon", "suv", "truck", "convertible", "minivan",
+]
+
+# ---------------------------------------------------------------------------
+# Real estate / apartments
+# ---------------------------------------------------------------------------
+
+PROPERTY_TYPES: list[str] = [
+    "house", "condo", "townhouse", "apartment", "duplex", "loft", "studio", "land",
+]
+
+STREET_NAMES: list[str] = [
+    "Maple", "Oak", "Pine", "Cedar", "Elm", "Washington", "Lake", "Hill",
+    "Park", "Main", "Church", "Spring", "Ridge", "Walnut", "Sunset", "Highland",
+    "Meadow", "River", "Forest", "Willow",
+]
+
+STREET_SUFFIXES: list[str] = ["St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Ct", "Way"]
+
+APARTMENT_AMENITIES: list[str] = [
+    "parking", "gym", "pool", "laundry", "balcony", "dishwasher", "fireplace",
+    "hardwood floors", "pet friendly", "air conditioning", "elevator", "doorman",
+]
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+
+JOB_TITLES: list[str] = [
+    "Software Engineer", "Data Analyst", "Registered Nurse", "Project Manager",
+    "Accountant", "Sales Representative", "Marketing Manager", "Teacher",
+    "Electrician", "Mechanical Engineer", "Graphic Designer", "Pharmacist",
+    "Truck Driver", "Chef", "Customer Service Agent", "Financial Analyst",
+    "Civil Engineer", "Paralegal", "Dental Hygienist", "Web Developer",
+    "Operations Manager", "Research Scientist", "Physical Therapist",
+    "Administrative Assistant", "Security Guard", "Librarian",
+]
+
+JOB_CATEGORIES: list[str] = [
+    "engineering", "healthcare", "education", "finance", "sales", "marketing",
+    "legal", "construction", "hospitality", "transportation", "science", "administration",
+]
+
+COMPANY_PREFIXES: list[str] = [
+    "Acme", "Global", "Pioneer", "Summit", "Vertex", "Cascade", "Harbor",
+    "Lighthouse", "Evergreen", "Crescent", "Frontier", "Beacon", "Canyon",
+    "Horizon", "Monarch", "Sterling", "Granite", "Juniper", "Redwood", "Atlas",
+]
+
+COMPANY_SUFFIXES: list[str] = [
+    "Systems", "Industries", "Partners", "Labs", "Group", "Solutions",
+    "Holdings", "Technologies", "Associates", "Works", "Logistics", "Health",
+]
+
+# ---------------------------------------------------------------------------
+# Recipes
+# ---------------------------------------------------------------------------
+
+CUISINES: list[str] = [
+    "italian", "mexican", "chinese", "indian", "thai", "french", "japanese",
+    "greek", "spanish", "moroccan", "vietnamese", "korean", "american", "ethiopian",
+]
+
+INGREDIENTS: list[str] = [
+    "chicken", "beef", "pork", "salmon", "shrimp", "tofu", "lentils", "chickpeas",
+    "mushrooms", "spinach", "eggplant", "zucchini", "potatoes", "rice", "pasta",
+    "quinoa", "beans", "cheese", "tomatoes", "peppers",
+]
+
+DISH_FORMS: list[str] = [
+    "soup", "stew", "curry", "salad", "casserole", "stir fry", "roast", "tacos",
+    "pasta bake", "skewers", "sandwich", "pie", "risotto", "noodles",
+]
+
+# ---------------------------------------------------------------------------
+# Books / media
+# ---------------------------------------------------------------------------
+
+BOOK_GENRES: list[str] = [
+    "mystery", "romance", "science fiction", "fantasy", "biography", "history",
+    "poetry", "thriller", "self help", "travel", "cooking", "children",
+]
+
+FIRST_NAMES: list[str] = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda",
+    "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph",
+    "Jessica", "Thomas", "Sarah", "Carlos", "Maria", "Wei", "Aisha", "Yuki",
+    "Anna", "Omar", "Priya", "Lars", "Ingrid", "Mateo", "Sofia",
+]
+
+LAST_NAMES: list[str] = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Chen", "Patel",
+]
+
+TITLE_ADJECTIVES: list[str] = [
+    "Silent", "Hidden", "Golden", "Broken", "Distant", "Forgotten", "Midnight",
+    "Crimson", "Eternal", "Shattered", "Whispering", "Burning", "Frozen",
+    "Wandering", "Secret", "Last", "First", "Lost",
+]
+
+TITLE_NOUNS: list[str] = [
+    "Garden", "River", "Mountain", "Promise", "Shadow", "Letter", "Kingdom",
+    "Voyage", "Harvest", "Mirror", "Bridge", "Lantern", "Compass", "Orchard",
+    "Symphony", "Harbor", "Island", "Winter",
+]
+
+MOVIE_GENRES: list[str] = [
+    "action", "comedy", "drama", "horror", "documentary", "animation",
+    "romance", "thriller", "western", "musical",
+]
+
+MUSIC_GENRES: list[str] = [
+    "rock", "pop", "jazz", "classical", "hip hop", "country", "electronic",
+    "blues", "folk", "reggae",
+]
+
+SOFTWARE_CATEGORIES: list[str] = [
+    "productivity", "security", "graphics", "development", "games", "education",
+    "utilities", "multimedia",
+]
+
+SOFTWARE_WORDS: list[str] = [
+    "studio", "manager", "suite", "editor", "toolkit", "assistant", "player",
+    "scanner", "builder", "optimizer", "designer", "console",
+]
+
+GAME_GENRES: list[str] = [
+    "puzzle", "strategy", "adventure", "racing", "simulation", "platformer",
+    "role playing", "sports",
+]
+
+MEDIA_CATEGORIES: list[str] = ["movies", "music", "software", "games"]
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+EVENT_CATEGORIES: list[str] = [
+    "concert", "theater", "sports", "festival", "conference", "exhibition",
+    "workshop", "comedy", "lecture", "fair",
+]
+
+VENUE_WORDS: list[str] = [
+    "Arena", "Hall", "Theater", "Pavilion", "Center", "Auditorium", "Stadium",
+    "Gallery", "Amphitheater", "Club",
+]
+
+# ---------------------------------------------------------------------------
+# Government / NGO portals (the paper's prime example of valuable tail content)
+# ---------------------------------------------------------------------------
+
+AGENCIES: list[str] = [
+    "Department of Transportation", "Environmental Protection Agency",
+    "Department of Public Health", "Housing Authority", "Department of Labor",
+    "Parks and Recreation", "Department of Education", "Water Resources Board",
+    "Consumer Protection Office", "Small Business Administration",
+    "Election Commission", "Emergency Management Agency",
+]
+
+GOV_TOPICS: list[str] = [
+    "permits", "zoning", "air quality", "water quality", "road construction",
+    "public transit", "school enrollment", "vaccination", "building codes",
+    "recycling", "property tax", "business licenses", "flood insurance",
+    "wildlife conservation", "census statistics", "grant programs",
+    "safety inspections", "minimum wage", "voter registration", "emergency preparedness",
+]
+
+GOV_DOCUMENT_KINDS: list[str] = [
+    "regulation", "survey results", "annual report", "guidance", "public notice",
+    "ordinance", "statistical bulletin", "application form", "meeting minutes",
+]
+
+# ---------------------------------------------------------------------------
+# Stores
+# ---------------------------------------------------------------------------
+
+STORE_CATEGORIES: list[str] = [
+    "grocery", "pharmacy", "hardware", "electronics", "clothing", "furniture",
+    "bookstore", "pet supplies", "sporting goods", "garden center",
+]
+
+STORE_NAME_WORDS: list[str] = [
+    "Corner", "Family", "Village", "Metro", "Prime", "Budget", "Quality",
+    "Sunrise", "Liberty", "Heritage", "Capital", "Riverside",
+]
+
+# ---------------------------------------------------------------------------
+# Surface-web head topics (celebrities / products with heavy SEO presence)
+# ---------------------------------------------------------------------------
+
+CELEBRITIES: list[str] = [
+    "Ava Sterling", "Liam Archer", "Noah Castellan", "Mia Delacroix",
+    "Ethan Voss", "Isabella Marchetti", "Lucas Hawthorne", "Sophia Lindqvist",
+    "Mason Drake", "Olivia Fontaine", "Elijah Stone", "Amelia Navarro",
+    "Logan Pierce", "Harper Quinn", "Jackson Reyes", "Evelyn Sato",
+]
+
+POPULAR_PRODUCTS: list[str] = [
+    "smartphone pro 12", "wireless earbuds max", "ultrabook air 15",
+    "smart watch series 7", "4k streaming stick", "robot vacuum s9",
+    "espresso machine deluxe", "noise cancelling headphones",
+    "fitness tracker band 5", "gaming console x", "electric scooter city",
+    "tablet mini 6", "mirrorless camera z50", "smart thermostat v3",
+    "portable power station", "mechanical keyboard pro",
+]
+
+FILLER_WORDS: list[str] = [
+    "excellent", "condition", "available", "contact", "details", "certified",
+    "warranty", "original", "includes", "featured", "verified", "local",
+    "popular", "recommended", "limited", "special", "quality", "trusted",
+    "affordable", "premium",
+]
+
+# ---------------------------------------------------------------------------
+# Languages (the production system surfaced content in 45+ languages; the
+# reproduction keeps a handful with deterministic pseudo-translation).
+# ---------------------------------------------------------------------------
+
+LANGUAGES: list[str] = ["en", "es", "fr", "de", "pt", "it", "nl", "sv"]
+
+LANGUAGE_SUFFIXES: dict[str, str] = {
+    "en": "",
+    "es": "o",
+    "fr": "eau",
+    "de": "ung",
+    "pt": "inho",
+    "it": "ia",
+    "nl": "je",
+    "sv": "et",
+}

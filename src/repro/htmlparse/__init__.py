@@ -1,0 +1,26 @@
+"""HTML parsing: DOM construction and extraction of forms, links, tables and text.
+
+The surfacing pipeline only ever sees rendered HTML (exactly like the
+production system), so everything it knows about a form -- its action,
+method, input names and select options -- comes from
+:func:`~repro.htmlparse.forms.extract_forms`.
+"""
+
+from repro.htmlparse.dom import DomNode, parse_html
+from repro.htmlparse.forms import ParsedForm, ParsedInput, extract_forms
+from repro.htmlparse.links import extract_links
+from repro.htmlparse.tables import HtmlTable, extract_tables
+from repro.htmlparse.text import extract_text, extract_title
+
+__all__ = [
+    "DomNode",
+    "parse_html",
+    "ParsedForm",
+    "ParsedInput",
+    "extract_forms",
+    "extract_links",
+    "HtmlTable",
+    "extract_tables",
+    "extract_text",
+    "extract_title",
+]

@@ -1,0 +1,118 @@
+"""A minimal DOM built on the standard-library :class:`html.parser.HTMLParser`.
+
+The DOM supports exactly what the extractors need: tag/attribute access,
+children, recursive text collection and tag-based searching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+from typing import Iterator
+
+# Elements that never have a closing tag.
+_VOID_TAGS = frozenset(
+    {"input", "br", "img", "hr", "meta", "link", "area", "base", "col", "embed",
+     "source", "track", "wbr"}
+)
+
+
+@dataclass
+class DomNode:
+    """One element (or the synthetic document root)."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["DomNode"] = field(default_factory=list)
+    text_chunks: list[str] = field(default_factory=list)
+    parent: "DomNode | None" = None
+
+    def attr(self, name: str, default: str = "") -> str:
+        return self.attrs.get(name, default)
+
+    def append_child(self, child: "DomNode") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def append_text(self, text: str) -> None:
+        stripped = text.strip()
+        if stripped:
+            self.text_chunks.append(stripped)
+
+    # -- traversal --------------------------------------------------------
+
+    def walk(self) -> Iterator["DomNode"]:
+        """Depth-first traversal including this node."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_all(self, tag: str) -> list["DomNode"]:
+        """All descendant nodes with the given tag name."""
+        tag = tag.lower()
+        return [node for node in self.walk() if node.tag == tag]
+
+    def find_first(self, tag: str) -> "DomNode | None":
+        """The first descendant with the given tag, or None."""
+        tag = tag.lower()
+        for node in self.walk():
+            if node.tag == tag:
+                return node
+        return None
+
+    def direct_children(self, tag: str) -> list["DomNode"]:
+        tag = tag.lower()
+        return [child for child in self.children if child.tag == tag]
+
+    def text(self, separator: str = " ") -> str:
+        """All text in this subtree, in document order."""
+        pieces: list[str] = []
+        self._collect_text(pieces)
+        return separator.join(pieces)
+
+    def _collect_text(self, pieces: list[str]) -> None:
+        # Text chunks of a node precede its children's text; this ordering is
+        # close enough to document order for indexing purposes.
+        pieces.extend(self.text_chunks)
+        for child in self.children:
+            child._collect_text(pieces)
+
+
+class _TreeBuilder(HTMLParser):
+    """HTMLParser subclass that assembles a :class:`DomNode` tree."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = DomNode(tag="#document")
+        self._stack: list[DomNode] = [self.root]
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        node = DomNode(tag=tag.lower(), attrs={key: (value or "") for key, value in attrs})
+        self._stack[-1].append_child(node)
+        if tag.lower() not in _VOID_TAGS:
+            self._stack.append(node)
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        node = DomNode(tag=tag.lower(), attrs={key: (value or "") for key, value in attrs})
+        self._stack[-1].append_child(node)
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag in _VOID_TAGS:
+            return
+        # Pop to the matching open tag, tolerating mis-nested markup.
+        for index in range(len(self._stack) - 1, 0, -1):
+            if self._stack[index].tag == tag:
+                del self._stack[index:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        self._stack[-1].append_text(data)
+
+
+def parse_html(html: str) -> DomNode:
+    """Parse an HTML document into a DOM tree rooted at ``#document``."""
+    builder = _TreeBuilder()
+    builder.feed(html)
+    builder.close()
+    return builder.root

@@ -1,0 +1,41 @@
+"""Hyperlink extraction, with relative-link resolution against the page URL."""
+
+from __future__ import annotations
+
+from repro.htmlparse.dom import DomNode, parse_html
+from repro.webspace.url import Url
+
+
+def extract_links(html_or_dom: str | DomNode, page_url: str | Url | None = None) -> list[str]:
+    """All anchor targets on a page, resolved to absolute URL strings.
+
+    Relative links (``/item?id=3``) are resolved against ``page_url``'s host;
+    fragment-only and javascript links are dropped.  Duplicates are removed
+    while preserving first-seen order.
+    """
+    root = parse_html(html_or_dom) if isinstance(html_or_dom, str) else html_or_dom
+    base: Url | None = None
+    if page_url is not None:
+        base = page_url if isinstance(page_url, Url) else Url.parse(str(page_url))
+
+    seen: dict[str, None] = {}
+    for anchor in root.find_all("a"):
+        href = anchor.attr("href").strip()
+        if not href or href.startswith("#") or href.lower().startswith("javascript:"):
+            continue
+        resolved = _resolve(href, base)
+        if resolved is not None and resolved not in seen:
+            seen[resolved] = None
+    return list(seen.keys())
+
+
+def _resolve(href: str, base: Url | None) -> str | None:
+    if "://" in href:
+        return str(Url.parse(href))
+    if base is None:
+        return None
+    if href.startswith("/"):
+        return str(Url.parse(f"http://{base.host}{href}"))
+    # Relative path without a leading slash: resolve against the base directory.
+    directory = base.path.rsplit("/", 1)[0]
+    return str(Url.parse(f"http://{base.host}{directory}/{href}"))

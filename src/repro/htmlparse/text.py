@@ -1,0 +1,36 @@
+"""Visible-text and title extraction for indexing."""
+
+from __future__ import annotations
+
+from repro.htmlparse.dom import DomNode, parse_html
+
+# Content inside these elements is never user-visible text.
+_SKIP_TAGS = frozenset({"script", "style", "head", "option", "noscript"})
+
+
+def extract_title(html_or_dom: str | DomNode) -> str:
+    """The document ``<title>``, or an empty string."""
+    root = parse_html(html_or_dom) if isinstance(html_or_dom, str) else html_or_dom
+    title_node = root.find_first("title")
+    return title_node.text() if title_node is not None else ""
+
+
+def extract_text(html_or_dom: str | DomNode, include_title: bool = True) -> str:
+    """All visible text of a document (titles included by default)."""
+    root = parse_html(html_or_dom) if isinstance(html_or_dom, str) else html_or_dom
+    pieces: list[str] = []
+    if include_title:
+        title = extract_title(root)
+        if title:
+            pieces.append(title)
+    body = root.find_first("body") or root
+    _collect(body, pieces)
+    return " ".join(pieces)
+
+
+def _collect(node: DomNode, pieces: list[str]) -> None:
+    if node.tag in _SKIP_TAGS:
+        return
+    pieces.extend(node.text_chunks)
+    for child in node.children:
+        _collect(child, pieces)

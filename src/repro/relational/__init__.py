@@ -1,0 +1,57 @@
+"""A small in-memory relational engine.
+
+Every simulated deep-web site stores its content in a
+:class:`~repro.relational.database.Database`; HTML forms are compiled into
+:class:`~repro.relational.query.Query` objects over the site's tables.  The
+engine supports exactly what the reproduction needs: typed columns, equality
+and range predicates, keyword (``CONTAINS``) predicates over text columns,
+secondary indexes, projections, ordering and pagination.
+"""
+
+from repro.relational.errors import (
+    DuplicateTableError,
+    RelationalError,
+    SchemaError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.relational.schema import Column, DataType, TableSchema
+from repro.relational.predicate import (
+    And,
+    Contains,
+    Eq,
+    InSet,
+    Or,
+    Predicate,
+    Prefix,
+    Range,
+    TruePredicate,
+)
+from repro.relational.table import Row, Table
+from repro.relational.query import Query, QueryResult
+from repro.relational.database import Database
+
+__all__ = [
+    "RelationalError",
+    "SchemaError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "DuplicateTableError",
+    "DataType",
+    "Column",
+    "TableSchema",
+    "Predicate",
+    "TruePredicate",
+    "Eq",
+    "InSet",
+    "Prefix",
+    "Range",
+    "Contains",
+    "And",
+    "Or",
+    "Row",
+    "Table",
+    "Query",
+    "QueryResult",
+    "Database",
+]

@@ -1,0 +1,84 @@
+"""A named collection of tables (one per simulated deep-web site backend)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.relational.errors import DuplicateTableError, UnknownTableError
+from repro.relational.query import Query, QueryResult, execute
+from repro.relational.schema import TableSchema
+from repro.relational.table import Row, Table
+
+
+class Database:
+    """A small database: named tables plus query execution.
+
+    Deep-web sites usually expose a single logical table ("listings",
+    "publications", ...), but multi-database sites -- the paper's
+    database-selection correlation pattern -- register one table per
+    selectable category (movies, music, software, games).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables.keys())
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create and register a table for ``schema``."""
+        if schema.name in self._tables:
+            raise DuplicateTableError(
+                f"table {schema.name!r} already exists in database {self.name!r}"
+            )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def add_table(self, table: Table) -> None:
+        """Register an already-built table."""
+        if table.name in self._tables:
+            raise DuplicateTableError(
+                f"table {table.name!r} already exists in database {self.name!r}"
+            )
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"database {self.name!r} has no table {name!r}"
+            ) from None
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    def insert(self, table_name: str, rows: Iterable[Mapping[str, object]]) -> int:
+        """Insert rows into a table; returns how many were inserted."""
+        return self.table(table_name).insert_many(rows)
+
+    def execute(self, query: Query) -> QueryResult:
+        """Execute a query against the table it names."""
+        return execute(self.table(query.table), query)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables (the site's "database size")."""
+        return sum(len(table) for table in self._tables.values())
+
+    def all_rows(self) -> list[tuple[str, Row]]:
+        """Every (table name, row) pair; used for ground-truth coverage."""
+        pairs: list[tuple[str, Row]] = []
+        for table in self._tables.values():
+            for row in table:
+                pairs.append((table.name, row))
+        return pairs

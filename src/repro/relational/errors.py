@@ -1,0 +1,23 @@
+"""Exception hierarchy for the relational engine."""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all relational-engine errors."""
+
+
+class SchemaError(RelationalError):
+    """A schema definition or a row violates schema constraints."""
+
+
+class UnknownTableError(RelationalError):
+    """A query referenced a table that does not exist in the database."""
+
+
+class UnknownColumnError(RelationalError):
+    """A predicate or projection referenced a column not in the table schema."""
+
+
+class DuplicateTableError(RelationalError):
+    """A table with the same name was registered twice."""

@@ -1,0 +1,222 @@
+"""Predicate algebra for queries against tables.
+
+Predicates are small immutable objects with a ``matches(row)`` method.  Form
+submissions compile into conjunctions of these: select menus become
+:class:`Eq`, min/max input pairs become :class:`Range`, and search boxes
+become :class:`Contains` over the table's searchable columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.util.text import tokenize
+
+
+class Predicate:
+    """Base predicate; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: Mapping[str, Any]) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of the columns this predicate reads (for index selection)."""
+        return set()
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row; the predicate of an empty form submission."""
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """Column equality.  String comparisons are case-insensitive, matching
+    how real form backends treat select-menu values."""
+
+    column: str
+    value: Any
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        actual = row.get(self.column)
+        if actual is None:
+            return False
+        if isinstance(actual, str) and isinstance(self.value, str):
+            return actual.strip().lower() == self.value.strip().lower()
+        return actual == self.value
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class InSet(Predicate):
+    """Column value is one of a fixed set (case-insensitive for strings)."""
+
+    column: str
+    values: tuple = ()
+
+    def __init__(self, column: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "column", column)
+        normalized = tuple(
+            value.strip().lower() if isinstance(value, str) else value for value in values
+        )
+        object.__setattr__(self, "values", normalized)
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        actual = row.get(self.column)
+        if actual is None:
+            return False
+        if isinstance(actual, str):
+            actual = actual.strip().lower()
+        return actual in self.values
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """Inclusive numeric range; either bound may be None (open-ended).
+
+    An inverted range (low > high) matches nothing -- this is exactly the
+    "invalid range" failure mode the paper describes for independently
+    chosen min/max values.
+    """
+
+    column: str
+    low: float | None = None
+    high: float | None = None
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        value = row.get(self.column)
+        if value is None or isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    @property
+    def is_inverted(self) -> bool:
+        return self.low is not None and self.high is not None and self.low > self.high
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Prefix(Predicate):
+    """String prefix match (case-insensitive).
+
+    Used for zip-code inputs: real locator backends return results "near"
+    the submitted zip, which the simulator models as matching on the 3-digit
+    regional prefix.
+    """
+
+    column: str
+    prefix: str = ""
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        return str(value).strip().lower().startswith(self.prefix.strip().lower())
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Contains(Predicate):
+    """Keyword containment over one or more text columns.
+
+    All query keywords must appear (as whole tokens) in the concatenation of
+    the listed columns -- the semantics of a site search box.
+    """
+
+    columns_searched: tuple[str, ...]
+    keywords: tuple[str, ...]
+
+    def __init__(self, columns_searched: Iterable[str], keywords: Iterable[str] | str) -> None:
+        if isinstance(keywords, str):
+            keyword_tokens = tuple(tokenize(keywords))
+        else:
+            keyword_tokens = tuple(
+                token for keyword in keywords for token in tokenize(keyword)
+            )
+        object.__setattr__(self, "columns_searched", tuple(columns_searched))
+        object.__setattr__(self, "keywords", keyword_tokens)
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        if not self.keywords:
+            return True
+        haystack: set[str] = set()
+        for column in self.columns_searched:
+            value = row.get(column)
+            if value is None:
+                continue
+            haystack.update(tokenize(str(value)))
+        return all(keyword in haystack for keyword in self.keywords)
+
+    def columns(self) -> set[str]:
+        return set(self.columns_searched)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        flattened: list[Predicate] = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            elif isinstance(part, TruePredicate):
+                continue
+            else:
+                flattened.append(part)
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+    def columns(self) -> set[str]:
+        names: set[str] = set()
+        for part in self.parts:
+            names |= part.columns()
+        return names
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    parts: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        if not self.parts:
+            return False
+        return any(part.matches(row) for part in self.parts)
+
+    def columns(self) -> set[str]:
+        names: set[str] = set()
+        for part in self.parts:
+            names |= part.columns()
+        return names

@@ -1,0 +1,133 @@
+"""Query objects: predicate + projection + ordering + pagination."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.relational.errors import UnknownColumnError
+from repro.relational.predicate import Predicate, TruePredicate
+from repro.relational.table import Row, Table
+
+
+@dataclass(frozen=True)
+class Query:
+    """A declarative query against one table.
+
+    ``order_by`` sorts ascending by the named column (None keeps insertion
+    order, which is already deterministic).  ``limit``/``offset`` implement
+    result-page pagination, exactly how the simulated sites paginate their
+    form results.
+    """
+
+    table: str
+    predicate: Predicate = field(default_factory=TruePredicate)
+    projection: tuple[str, ...] | None = None
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Rows plus bookkeeping needed to render result pages."""
+
+    rows: tuple[Row, ...]
+    total_matches: int
+    offset: int
+    limit: int | None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    @property
+    def has_more(self) -> bool:
+        if self.limit is None:
+            return False
+        return self.offset + len(self.rows) < self.total_matches
+
+
+def execute(table: Table, query: Query) -> QueryResult:
+    """Execute a query against a table and return a :class:`QueryResult`."""
+    rows = table.scan(query.predicate)
+    if query.order_by is not None:
+        if not table.schema.has_column(query.order_by):
+            raise UnknownColumnError(
+                f"cannot order by unknown column {query.order_by!r}"
+            )
+        rows.sort(
+            key=lambda row: _sort_key(row.get(query.order_by)),
+            reverse=query.descending,
+        )
+    total = len(rows)
+    start = max(0, query.offset)
+    end = total if query.limit is None else min(total, start + query.limit)
+    window = rows[start:end] if start < total else []
+    if query.projection is not None:
+        projected = []
+        for row in window:
+            projected.append({name: row.get(name) for name in query.projection})
+        window = projected
+    return QueryResult(
+        rows=tuple(dict(row) for row in window),
+        total_matches=total,
+        offset=start,
+        limit=query.limit,
+    )
+
+
+def _sort_key(value: Any) -> tuple[int, Any]:
+    """Sort key tolerant of None and mixed types (None sorts first)."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value).lower())
+
+
+def page_count(total: int, page_size: int) -> int:
+    """Number of result pages needed for ``total`` rows at ``page_size``."""
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    if total <= 0:
+        return 0
+    return (total + page_size - 1) // page_size
+
+
+def paginate(query: Query, page: int, page_size: int) -> Query:
+    """Derive the query for a specific 1-based result page."""
+    if page < 1:
+        raise ValueError("page numbers are 1-based")
+    return Query(
+        table=query.table,
+        predicate=query.predicate,
+        projection=query.projection,
+        order_by=query.order_by,
+        descending=query.descending,
+        limit=page_size,
+        offset=(page - 1) * page_size,
+    )
+
+
+def select(
+    table: Table,
+    predicate: Predicate | None = None,
+    columns: Sequence[str] | None = None,
+    order_by: str | None = None,
+    limit: int | None = None,
+    offset: int = 0,
+) -> QueryResult:
+    """Convenience wrapper building and executing a :class:`Query`."""
+    query = Query(
+        table=table.name,
+        predicate=predicate if predicate is not None else TruePredicate(),
+        projection=tuple(columns) if columns is not None else None,
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+    )
+    return execute(table, query)

@@ -1,0 +1,133 @@
+"""Table schemas and column data types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.relational.errors import SchemaError, UnknownColumnError
+
+
+class DataType(enum.Enum):
+    """Column data types understood by the engine.
+
+    The set mirrors what deep-web forms expose: free text, categorical
+    strings (select menus), integers and floats (ranges), dates (ISO strings)
+    and the common "typed" inputs the paper highlights (zip codes are stored
+    as strings to preserve leading zeros).
+    """
+
+    TEXT = "text"
+    CATEGORY = "category"
+    INTEGER = "integer"
+    FLOAT = "float"
+    DATE = "date"
+    ZIPCODE = "zipcode"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+
+_PYTHON_TYPES = {
+    DataType.TEXT: str,
+    DataType.CATEGORY: str,
+    DataType.INTEGER: int,
+    DataType.FLOAT: (int, float),
+    DataType.DATE: str,
+    DataType.ZIPCODE: str,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``searchable`` marks text columns that participate in keyword
+    (``CONTAINS``) predicates -- these are the columns a site's "search box"
+    queries against.
+    """
+
+    name: str
+    dtype: DataType
+    searchable: bool = False
+
+    def validate_value(self, value: Any) -> None:
+        """Raise :class:`SchemaError` if ``value`` is not valid for this column."""
+        if value is None:
+            return
+        expected = _PYTHON_TYPES[self.dtype]
+        if isinstance(value, bool):
+            raise SchemaError(f"column {self.name!r} does not accept booleans")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.dtype.value}, got {type(value).__name__}"
+            )
+
+
+@dataclass
+class TableSchema:
+    """An ordered collection of columns with a designated primary key."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    primary_key: str = "id"
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        if self.columns and self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, raising :class:`UnknownColumnError` if absent."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise UnknownColumnError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def searchable_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.searchable]
+
+    def categorical_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.dtype is DataType.CATEGORY]
+
+    def numeric_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.dtype.is_numeric]
+
+    def validate_row(self, row: dict[str, Any]) -> None:
+        """Validate a row dict against the schema.
+
+        Every key must be a known column and every value must match its
+        column type.  Missing columns are allowed (treated as NULL) except
+        for the primary key.
+        """
+        if self.primary_key not in row or row[self.primary_key] is None:
+            raise SchemaError(f"row is missing primary key {self.primary_key!r}")
+        for key, value in row.items():
+            column = self.column(key)
+            column.validate_value(value)
+
+    def project(self, names: Iterable[str]) -> "TableSchema":
+        """A schema containing only the named columns (order preserved)."""
+        wanted = list(names)
+        missing = [name for name in wanted if not self.has_column(name)]
+        if missing:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no columns {', '.join(missing)}"
+            )
+        columns = [column for column in self.columns if column.name in wanted]
+        key = self.primary_key if self.primary_key in wanted else columns[0].name
+        return TableSchema(name=self.name, columns=columns, primary_key=key)

@@ -1,0 +1,150 @@
+"""Tables: row storage, secondary indexes and predicate scans."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.relational.errors import SchemaError, UnknownColumnError
+from repro.relational.predicate import And, Eq, InSet, Predicate, TruePredicate
+from repro.relational.schema import TableSchema
+
+Row = dict[str, Any]
+
+
+class Table:
+    """An in-memory table with a primary-key index and optional hash indexes.
+
+    Rows are stored as plain dicts keyed by column name.  The table keeps a
+    hash index on the primary key and on any column registered via
+    :meth:`create_index`; equality predicates on indexed columns are answered
+    from the index, everything else falls back to a scan.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[Any, Row] = {}
+        self._indexes: dict[str, dict[Any, set[Any]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Insert one row (validated against the schema)."""
+        row_dict = dict(row)
+        self.schema.validate_row(row_dict)
+        key = row_dict[self.schema.primary_key]
+        if key in self._rows:
+            raise SchemaError(
+                f"duplicate primary key {key!r} in table {self.schema.name!r}"
+            )
+        self._rows[key] = row_dict
+        for column, index in self._indexes.items():
+            index[self._index_key(row_dict.get(column))].add(key)
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def create_index(self, column: str) -> None:
+        """Create a hash index on ``column`` (no-op if it already exists)."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(
+                f"cannot index unknown column {column!r} of {self.schema.name!r}"
+            )
+        if column in self._indexes:
+            return
+        index: dict[Any, set[Any]] = defaultdict(set)
+        for key, row in self._rows.items():
+            index[self._index_key(row.get(column))].add(key)
+        self._indexes[column] = index
+
+    @staticmethod
+    def _index_key(value: Any) -> Any:
+        return value.strip().lower() if isinstance(value, str) else value
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, primary_key: Any) -> Row | None:
+        """Fetch a row by primary key, or None."""
+        return self._rows.get(primary_key)
+
+    def primary_keys(self) -> list[Any]:
+        return list(self._rows.keys())
+
+    def scan(self, predicate: Predicate | None = None) -> list[Row]:
+        """All rows matching ``predicate`` (all rows when predicate is None).
+
+        When the predicate is a conjunction containing an equality on an
+        indexed column, the candidate set is narrowed through the index
+        before the residual predicate is applied.
+        """
+        if predicate is None or isinstance(predicate, TruePredicate):
+            return list(self._rows.values())
+        candidates = self._candidates(predicate)
+        return [row for row in candidates if predicate.matches(row)]
+
+    def _candidates(self, predicate: Predicate) -> Iterable[Row]:
+        equalities: list[Eq | InSet] = []
+        if isinstance(predicate, (Eq, InSet)):
+            equalities.append(predicate)
+        elif isinstance(predicate, And):
+            equalities.extend(
+                part for part in predicate.parts if isinstance(part, (Eq, InSet))
+            )
+        for equality in equalities:
+            index = self._indexes.get(equality.column)
+            if index is None:
+                continue
+            if isinstance(equality, Eq):
+                keys = index.get(self._index_key(equality.value), set())
+            else:
+                keys = set()
+                for value in equality.values:
+                    keys |= index.get(self._index_key(value), set())
+            return [self._rows[key] for key in keys]
+        return self._rows.values()
+
+    def count(self, predicate: Predicate | None = None) -> int:
+        """Number of rows matching the predicate."""
+        return len(self.scan(predicate))
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Distinct non-null values of a column, in insertion order."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(
+                f"table {self.schema.name!r} has no column {column!r}"
+            )
+        seen: dict[Any, None] = {}
+        for row in self._rows.values():
+            value = row.get(column)
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen.keys())
+
+    def column_statistics(self, column: str) -> dict[str, Any]:
+        """Simple statistics used by value selection and data-type inference."""
+        values = [row.get(column) for row in self._rows.values() if row.get(column) is not None]
+        stats: dict[str, Any] = {
+            "count": len(values),
+            "distinct": len({self._index_key(value) for value in values}),
+        }
+        numeric = [value for value in values if isinstance(value, (int, float)) and not isinstance(value, bool)]
+        if numeric:
+            stats["min"] = min(numeric)
+            stats["max"] = max(numeric)
+            stats["mean"] = sum(numeric) / len(numeric)
+        return stats

@@ -1,0 +1,25 @@
+"""The web-search substrate: inverted index, BM25 ranking, crawler, query log.
+
+The paper's surfacing approach leans on the search engine's existing
+infrastructure -- "the problem is already solved by the underlying IR-index".
+This package provides that infrastructure for the simulated web so the claim
+can actually be exercised.
+"""
+
+from repro.search.inverted_index import InvertedIndex
+from repro.search.engine import Document, SearchEngine, SearchResult
+from repro.search.crawler import CrawlStats, Crawler
+from repro.search.querylog import Query, QueryLog, QueryLogConfig, QueryLogGenerator
+
+__all__ = [
+    "InvertedIndex",
+    "Document",
+    "SearchResult",
+    "SearchEngine",
+    "Crawler",
+    "CrawlStats",
+    "Query",
+    "QueryLog",
+    "QueryLogConfig",
+    "QueryLogGenerator",
+]

@@ -1,0 +1,178 @@
+"""The search engine: document store + inverted index + result ranking.
+
+Surfaced deep-web pages are added to the very same index as crawled surface
+pages and "appear in answers to web-search queries" like any other page --
+the essence of the surfacing approach.  Documents carry a ``source`` tag
+(surface crawl, deep-web crawl, surfaced) so experiments can attribute
+results, and optional semantic annotations (Section 5.1 of the paper) that
+an annotation-aware ranker can exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.htmlparse.text import extract_text, extract_title
+from repro.search.inverted_index import InvertedIndex
+from repro.util.text import tokenize
+from repro.webspace.page import WebPage
+from repro.webspace.url import Url
+
+SOURCE_SURFACE = "surface"
+SOURCE_DEEP_CRAWLED = "deep-crawled"
+SOURCE_SURFACED = "surfaced"
+
+
+@dataclass
+class Document:
+    """One indexed page."""
+
+    doc_id: int
+    url: str
+    host: str
+    title: str
+    text: str
+    source: str
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_deep_web(self) -> bool:
+        return self.source in (SOURCE_SURFACED, SOURCE_DEEP_CRAWLED)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One entry in a result listing."""
+
+    doc_id: int
+    url: str
+    host: str
+    title: str
+    score: float
+    source: str
+
+
+class SearchEngine:
+    """An IR-style keyword search engine over indexed pages."""
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
+        self._index = InvertedIndex(k1=k1, b=b)
+        self._documents: dict[int, Document] = {}
+        self._url_to_doc: dict[str, int] = {}
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._url_to_doc
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add_page(
+        self,
+        page: WebPage,
+        source: str = SOURCE_SURFACE,
+        annotations: Mapping[str, str] | None = None,
+    ) -> int | None:
+        """Index one fetched page.
+
+        Non-200 pages and already-indexed URLs are skipped (returns None).
+        """
+        if not page.ok:
+            return None
+        if page.url in self._url_to_doc:
+            return self._url_to_doc[page.url]
+        title = extract_title(page.html)
+        text = extract_text(page.html)
+        tokens = tokenize(text)
+        if annotations:
+            # Annotations are indexed as additional tokens, which is how a
+            # production index would exploit structured hints without a new
+            # retrieval model.
+            for key, value in annotations.items():
+                tokens.extend(tokenize(f"{key} {value}"))
+        doc_id = self._next_id
+        self._next_id += 1
+        self._index.add_document(doc_id, tokens)
+        host = Url.parse(page.url).host
+        self._documents[doc_id] = Document(
+            doc_id=doc_id,
+            url=page.url,
+            host=host,
+            title=title,
+            text=text,
+            source=source,
+            annotations=dict(annotations or {}),
+        )
+        self._url_to_doc[page.url] = doc_id
+        return doc_id
+
+    # -- lookup ---------------------------------------------------------------
+
+    def document(self, doc_id: int) -> Document:
+        return self._documents[doc_id]
+
+    def document_for_url(self, url: str) -> Document | None:
+        doc_id = self._url_to_doc.get(url)
+        return self._documents.get(doc_id) if doc_id is not None else None
+
+    def documents(self, source: str | None = None) -> list[Document]:
+        docs = list(self._documents.values())
+        if source is not None:
+            docs = [doc for doc in docs if doc.source == source]
+        return docs
+
+    def documents_for_host(self, host: str) -> list[Document]:
+        return [doc for doc in self._documents.values() if doc.host == host]
+
+    def count_by_source(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for doc in self._documents.values():
+            counts[doc.source] = counts.get(doc.source, 0) + 1
+        return counts
+
+    # -- querying ---------------------------------------------------------------
+
+    def search(self, query: str, k: int = 10) -> list[SearchResult]:
+        """Rank documents for a keyword query (BM25)."""
+        tokens = tokenize(query)
+        ranked = self._index.score(tokens, limit=k)
+        results = []
+        for doc_id, score in ranked:
+            doc = self._documents[doc_id]
+            results.append(
+                SearchResult(
+                    doc_id=doc_id,
+                    url=doc.url,
+                    host=doc.host,
+                    title=doc.title,
+                    score=score,
+                    source=doc.source,
+                )
+            )
+        return results
+
+    def search_hosts(self, query: str, k: int = 10) -> list[str]:
+        """Hosts of the top-k results (convenience for impact attribution)."""
+        return [result.host for result in self.search(query, k=k)]
+
+    def matching_documents(self, query: str, require_all: bool = True) -> list[Document]:
+        """Documents containing all (or any) query terms, unranked."""
+        tokens = tokenize(query)
+        ids = self._index.matching_documents(tokens, require_all=require_all)
+        return [self._documents[doc_id] for doc_id in sorted(ids)]
+
+    def site_term_frequencies(self, host: str, drop_stopwords: bool = True) -> dict[str, int]:
+        """Term counts over all indexed pages of one host.
+
+        The iterative-probing keyword selector seeds itself with the most
+        characteristic words of the pages already indexed from a form site,
+        which is exactly what this provides.
+        """
+        counts: dict[str, int] = {}
+        for doc in self.documents_for_host(host):
+            for token in tokenize(doc.text, drop_stopwords=drop_stopwords):
+                counts[token] = counts.get(token, 0) + 1
+        return counts

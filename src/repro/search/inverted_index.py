@@ -1,0 +1,108 @@
+"""A BM25 inverted index."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Iterable, Sequence
+
+
+class InvertedIndex:
+    """Term -> postings index with BM25 scoring.
+
+    Documents are integer ids managed by the caller.  The index stores term
+    frequencies per document and document lengths; scoring uses the standard
+    Okapi BM25 formula with a non-negative idf floor (so very common terms do
+    not produce negative contributions on a small corpus).
+    """
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
+        self.k1 = k1
+        self.b = b
+        self._postings: dict[str, dict[int, int]] = defaultdict(dict)
+        self._doc_lengths: dict[int, int] = {}
+        self._total_length = 0
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._doc_lengths
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    def average_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_length / len(self._doc_lengths)
+
+    # -- construction -------------------------------------------------------
+
+    def add_document(self, doc_id: int, tokens: Sequence[str]) -> None:
+        """Index a document given its token list (re-adding an id is an error)."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"document {doc_id} is already indexed")
+        counts = Counter(tokens)
+        for term, frequency in counts.items():
+            self._postings[term][doc_id] = frequency
+        self._doc_lengths[doc_id] = len(tokens)
+        self._total_length += len(tokens)
+
+    # -- querying -----------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, {}))
+
+    def idf(self, term: str) -> float:
+        """BM25 idf with a small floor to keep scores non-negative."""
+        n = self.document_count()
+        df = self.document_frequency(term)
+        if n == 0 or df == 0:
+            return 0.0
+        return max(0.01, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def score(self, query_tokens: Iterable[str], limit: int | None = None) -> list[tuple[int, float]]:
+        """BM25 scores for all documents matching at least one query term.
+
+        Returns (doc_id, score) pairs sorted by descending score then
+        ascending doc id (for determinism).  ``limit`` truncates the list.
+        """
+        average_length = self.average_length()
+        accumulator: dict[int, float] = defaultdict(float)
+        for term in query_tokens:
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = self.idf(term)
+            for doc_id, frequency in postings.items():
+                length = self._doc_lengths[doc_id]
+                length_norm = 1 - self.b + self.b * (length / average_length if average_length else 1.0)
+                tf_component = (frequency * (self.k1 + 1)) / (frequency + self.k1 * length_norm)
+                accumulator[doc_id] += idf * tf_component
+        ranked = sorted(accumulator.items(), key=lambda item: (-item[1], item[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
+        return ranked
+
+    def matching_documents(self, query_tokens: Iterable[str], require_all: bool = False) -> set[int]:
+        """Doc ids containing any (or all) of the query terms."""
+        sets = []
+        for term in query_tokens:
+            postings = self._postings.get(term, {})
+            sets.append(set(postings.keys()))
+        if not sets:
+            return set()
+        if require_all:
+            result = sets[0]
+            for other in sets[1:]:
+                result &= other
+            return result
+        result = set()
+        for other in sets:
+            result |= other
+        return result

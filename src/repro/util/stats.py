@@ -1,0 +1,158 @@
+"""Statistics helpers: concentration curves and capture-recapture estimates.
+
+The long-tail experiment (E1) needs cumulative-share curves over form ranks,
+and the coverage-estimation experiment (E7) needs capture-recapture
+estimators with confidence statements of the form the paper asks for:
+"with probability M%, more than N% of the site's content has been exposed".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def cumulative_share(values: Sequence[float]) -> list[float]:
+    """Cumulative share of the total, after sorting values descending.
+
+    ``cumulative_share([5, 3, 2])`` -> ``[0.5, 0.8, 1.0]``.  Returns an empty
+    list for empty input and a list of zeros when the total is zero.
+    """
+    ordered = sorted(values, reverse=True)
+    total = sum(ordered)
+    if not ordered:
+        return []
+    if total == 0:
+        return [0.0] * len(ordered)
+    shares = []
+    running = 0.0
+    for value in ordered:
+        running += value
+        shares.append(running / total)
+    return shares
+
+
+def share_of_top(values: Sequence[float], top: int) -> float:
+    """Share of the total contributed by the ``top`` largest values."""
+    if top <= 0:
+        return 0.0
+    shares = cumulative_share(values)
+    if not shares:
+        return 0.0
+    index = min(top, len(shares)) - 1
+    return shares[index]
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 = equal, ->1 = concentrated)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if n == 0 or total == 0:
+        return 0.0
+    weighted = sum((index + 1) * value for index, value in enumerate(ordered))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+@dataclass(frozen=True)
+class CaptureRecaptureEstimate:
+    """Population-size estimate from two capture occasions."""
+
+    estimate: float
+    first_sample: int
+    second_sample: int
+    recaptured: int
+    std_error: float
+
+    def coverage_of(self, observed_unique: int) -> float:
+        """Estimated fraction of the population covered by ``observed_unique`` items."""
+        if self.estimate <= 0:
+            return 0.0
+        return min(1.0, observed_unique / self.estimate)
+
+
+def lincoln_petersen_estimate(
+    first_sample: int, second_sample: int, recaptured: int
+) -> CaptureRecaptureEstimate:
+    """Classic Lincoln-Petersen estimator ``N = n1 * n2 / m``.
+
+    Raises ``ValueError`` when there are no recaptures (the estimator is
+    undefined); callers should fall back to :func:`chapman_estimate` which
+    tolerates zero recaptures.
+    """
+    if recaptured <= 0:
+        raise ValueError("Lincoln-Petersen requires at least one recapture")
+    estimate = first_sample * second_sample / recaptured
+    variance = (
+        first_sample
+        * second_sample
+        * (first_sample - recaptured)
+        * (second_sample - recaptured)
+        / (recaptured**3)
+        if recaptured > 0
+        else float("inf")
+    )
+    return CaptureRecaptureEstimate(
+        estimate=estimate,
+        first_sample=first_sample,
+        second_sample=second_sample,
+        recaptured=recaptured,
+        std_error=math.sqrt(max(0.0, variance)),
+    )
+
+
+def chapman_estimate(
+    first_sample: int, second_sample: int, recaptured: int
+) -> CaptureRecaptureEstimate:
+    """Chapman's bias-corrected capture-recapture estimator.
+
+    ``N = (n1 + 1)(n2 + 1)/(m + 1) - 1``.  Defined even with zero recaptures,
+    which matters early in a surfacing run when the two probe samples barely
+    overlap.
+    """
+    if first_sample < 0 or second_sample < 0 or recaptured < 0:
+        raise ValueError("sample sizes must be non-negative")
+    if recaptured > min(first_sample, second_sample):
+        raise ValueError("recaptured cannot exceed either sample size")
+    estimate = (first_sample + 1) * (second_sample + 1) / (recaptured + 1) - 1
+    variance = (
+        (first_sample + 1)
+        * (second_sample + 1)
+        * (first_sample - recaptured)
+        * (second_sample - recaptured)
+        / ((recaptured + 1) ** 2 * (recaptured + 2))
+    )
+    return CaptureRecaptureEstimate(
+        estimate=estimate,
+        first_sample=first_sample,
+        second_sample=second_sample,
+        recaptured=recaptured,
+        std_error=math.sqrt(max(0.0, variance)),
+    )
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to turn "we saw k of n sampled records already surfaced" into the
+    probabilistic coverage statement the paper asks for.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    if successes < 0 or successes > trials:
+        raise ValueError("successes must be between 0 and trials")
+    proportion = successes / trials
+    denominator = 1 + z * z / trials
+    center = proportion + z * z / (2 * trials)
+    margin = z * math.sqrt(
+        proportion * (1 - proportion) / trials + z * z / (4 * trials * trials)
+    )
+    low = (center - margin) / denominator
+    high = (center + margin) / denominator
+    return (max(0.0, low), min(1.0, high))
+
+
+def harmonic_number(n: int, exponent: float = 1.0) -> float:
+    """Generalized harmonic number; handy for analytic Zipf expectations."""
+    return sum(1.0 / (k**exponent) for k in range(1, n + 1))

@@ -1,0 +1,220 @@
+"""A vertical search engine built with the virtual-integration approach.
+
+``VerticalSearchEngine`` ties the pieces together for one domain (or a small
+set of domains): it registers deep-web sources by analyzing their forms,
+routes incoming queries to the relevant sources, reformulates the query per
+source, issues the form submissions *at query time* (metered with the
+``virtual`` agent so query-time load is measurable), extracts results via
+per-source wrappers, and merges them.  Structured queries (attribute
+filters) are supported in addition to keyword queries -- that richer
+slice-and-dice experience is exactly where the paper says the virtual
+approach shines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.form_model import SurfacingForm, discover_forms
+from repro.util.text import tokenize
+from repro.virtual.matching import FormMapping, SchemaMatcher
+from repro.virtual.reformulation import Reformulator
+from repro.virtual.routing import RoutedSource, Router, RoutingDecision
+from repro.virtual.wrappers import ResultWrapper, WrappedRecord, matches_filters
+from repro.virtual.mediated_schema import schema_for_domain
+from repro.webspace.loadmeter import AGENT_VIRTUAL
+from repro.webspace.site import DeepWebSite
+from repro.webspace.web import Web
+
+
+@dataclass
+class VerticalAnswer:
+    """The merged answer to one vertical-search query."""
+
+    query: str
+    records: list[WrappedRecord] = field(default_factory=list)
+    sources_contacted: list[str] = field(default_factory=list)
+    fetches_issued: int = 0
+    routing: RoutingDecision | None = None
+
+    @property
+    def answered(self) -> bool:
+        return bool(self.records)
+
+
+@dataclass
+class RegisteredSource:
+    """Internal bookkeeping for one integrated source."""
+
+    site: DeepWebSite
+    form: SurfacingForm
+    mapping: FormMapping
+    wrapper: ResultWrapper
+
+
+class VerticalSearchEngine:
+    """A mediator over deep-web sources in one (or a few) domains."""
+
+    def __init__(
+        self,
+        web: Web,
+        domain: str | None = None,
+        max_sources_per_query: int = 5,
+        max_pages_per_source: int = 3,
+    ) -> None:
+        self.web = web
+        self.domain = domain
+        self.max_sources_per_query = max_sources_per_query
+        self.max_pages_per_source = max_pages_per_source
+        self.matcher = SchemaMatcher()
+        self.reformulator = Reformulator()
+        self.router = Router()
+        self._sources: dict[str, RegisteredSource] = {}
+
+    # -- source registration ----------------------------------------------------
+
+    def register_site(self, site: DeepWebSite) -> FormMapping | None:
+        """Analyze a site's form and register it as an integrated source.
+
+        Returns the mapping, or None when the site has no usable GET form or
+        (when the engine is domain-restricted) the form classifies into a
+        different domain.
+        """
+        homepage = self.web.fetch(site.homepage_url(), agent=AGENT_VIRTUAL)
+        if not homepage.ok:
+            return None
+        forms = [form for form in discover_forms(homepage, host=site.host) if form.is_get]
+        if not forms:
+            return None
+        form = forms[0]
+        if self.domain is not None:
+            mapping = self.matcher.map_form(form, schema_for_domain(self.domain))
+            classified = self.matcher.classify_domain(form)
+            if classified.domain != self.domain:
+                return None
+        else:
+            mapping = self.matcher.classify_domain(form)
+        source = RegisteredSource(
+            site=site,
+            form=form,
+            mapping=mapping,
+            wrapper=ResultWrapper(mapping),
+        )
+        self._sources[site.host] = source
+        self.router.register(
+            RoutedSource(
+                host=site.host,
+                domain=mapping.domain,
+                mapping=mapping,
+                description=site.description,
+            )
+        )
+        return mapping
+
+    def register_sites(self, sites: list[DeepWebSite]) -> int:
+        """Register many sites; returns how many were accepted."""
+        accepted = 0
+        for site in sites:
+            if self.register_site(site) is not None:
+                accepted += 1
+        return accepted
+
+    @property
+    def source_count(self) -> int:
+        return len(self._sources)
+
+    def sources(self) -> list[RegisteredSource]:
+        return list(self._sources.values())
+
+    # -- query answering -----------------------------------------------------------
+
+    def keyword_query(self, query: str, max_results: int = 20) -> VerticalAnswer:
+        """Answer a keyword query by routing + reformulation + extraction."""
+        answer = VerticalAnswer(query=query)
+        decision = self.router.route(query, max_sources=self.max_sources_per_query)
+        answer.routing = decision
+        for host in decision.selected_hosts(self.max_sources_per_query):
+            source = self._sources[host]
+            reformulation = self.reformulator.reformulate(query, source.mapping)
+            if reformulation.is_empty:
+                continue
+            records, fetches = self._fetch_records(source, reformulation.bindings)
+            answer.fetches_issued += fetches
+            answer.sources_contacted.append(host)
+            answer.records.extend(self._filter_by_query(records, query))
+        answer.records = answer.records[:max_results]
+        return answer
+
+    def structured_query(self, filters: dict[str, str], max_results: int = 50) -> VerticalAnswer:
+        """Answer a structured query expressed over mediated-schema attributes."""
+        answer = VerticalAnswer(query=str(filters))
+        for host, source in self._sources.items():
+            bindings: dict[str, str] = {}
+            for attribute, value in filters.items():
+                input_name = source.mapping.input_for(attribute)
+                if input_name is not None:
+                    bindings[input_name] = str(value)
+            if not bindings:
+                continue
+            records, fetches = self._fetch_records(source, bindings)
+            answer.fetches_issued += fetches
+            answer.sources_contacted.append(host)
+            # The form submission already applied the filters on the backend;
+            # re-check locally only for attributes the wrapper actually extracted.
+            checkable = {
+                attribute: value
+                for attribute, value in filters.items()
+                if any(attribute in record.attributes for record in records)
+            }
+            answer.records.extend(
+                record for record in records if matches_filters(record, checkable)
+            )
+        answer.records = answer.records[:max_results]
+        return answer
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _fetch_records(
+        self, source: RegisteredSource, bindings: dict[str, str]
+    ) -> tuple[list[WrappedRecord], int]:
+        """Submit a form at query time and wrap the result pages."""
+        records: list[WrappedRecord] = []
+        fetches = 0
+        url = source.form.submission_url(bindings)
+        for _page_index in range(self.max_pages_per_source):
+            page = self.web.fetch(url, agent=AGENT_VIRTUAL)
+            fetches += 1
+            if not page.ok:
+                break
+            records.extend(source.wrapper.wrap_page(page.html))
+            next_url = self._next_page_url(page.html, url)
+            if next_url is None:
+                break
+            url = next_url
+        return records, fetches
+
+    @staticmethod
+    def _next_page_url(html: str, current_url):
+        from repro.htmlparse.links import extract_links
+        from repro.webspace.url import Url
+
+        for link in extract_links(html, page_url=current_url):
+            parsed = Url.parse(link)
+            if parsed.path == current_url.path and parsed.param("page") is not None:
+                return parsed
+        return None
+
+    @staticmethod
+    def _filter_by_query(records: list[WrappedRecord], query: str) -> list[WrappedRecord]:
+        """Keep records that share at least one content token with the query."""
+        query_tokens = set(tokenize(query, drop_stopwords=True))
+        if not query_tokens:
+            return records
+        kept = []
+        for record in records:
+            haystack = set(tokenize(record.title))
+            for value in record.attributes.values():
+                haystack.update(tokenize(value))
+            if haystack & query_tokens:
+                kept.append(record)
+        return kept

@@ -1,0 +1,48 @@
+"""Rendering of HTML forms from form templates.
+
+The markup mirrors what real deep-web forms look like: text inputs, select
+menus with option lists, hidden inputs and a submit button, wrapped in a
+``<form>`` tag with a GET or POST method.  The surfacing pipeline never sees
+the template objects -- it re-discovers everything from this markup via
+:mod:`repro.htmlparse.forms`, exactly like the production system had to.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.webspace.site import FormInputSpec, FormTemplate
+
+
+def render_input(spec: "FormInputSpec") -> str:
+    """Render a single form input."""
+    name = escape(spec.name, quote=True)
+    label = escape(spec.label or spec.name.replace("_", " "))
+    if spec.kind == "select":
+        options = ['<option value="">-- any --</option>']
+        options.extend(
+            f'<option value="{escape(str(value), quote=True)}">{escape(str(value))}</option>'
+            for value in spec.options
+        )
+        control = f'<select name="{name}">{"".join(options)}</select>'
+    elif spec.kind == "hidden":
+        value = escape(str(spec.default or ""), quote=True)
+        return f'<input type="hidden" name="{name}" value="{value}"/>'
+    else:
+        control = f'<input type="text" name="{name}"/>'
+    return f'<label>{label} {control}</label>'
+
+
+def render_form(template: "FormTemplate") -> str:
+    """Render the complete ``<form>`` element for a template."""
+    controls = [render_input(spec) for spec in template.inputs]
+    controls.append('<input type="submit" value="Search"/>')
+    action = escape(template.action_path, quote=True)
+    method = escape(template.method, quote=True)
+    body = "".join(controls)
+    return (
+        f'<form id="{escape(template.form_id, quote=True)}" '
+        f'action="{action}" method="{method}">{body}</form>'
+    )

@@ -1,0 +1,75 @@
+"""Per-site load accounting.
+
+The paper argues that surfacing imposes a light, amortizable off-line load on
+form sites, whereas a virtual-integration engine with imprecise routing loads
+sites at query time.  The :class:`LoadMeter` records every fetch by host and
+by agent so both loads can be compared directly (experiment E6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+
+# Canonical agent names used throughout the reproduction.
+AGENT_CRAWLER = "crawler"          # the search engine's regular web crawler
+AGENT_SURFACER = "surfacer"        # off-line form probing / surfacing
+AGENT_VIRTUAL = "virtual"          # query-time fetches by the virtual-integration engine
+AGENT_USER = "user"                # a user clicking through to fresh content
+
+
+@dataclass(frozen=True)
+class LoadSnapshot:
+    """Aggregated load numbers for one host."""
+
+    host: str
+    total: int
+    by_agent: dict[str, int]
+
+
+class LoadMeter:
+    """Counts fetches per (host, agent)."""
+
+    def __init__(self) -> None:
+        self._by_host_agent: dict[str, Counter] = defaultdict(Counter)
+
+    def record(self, host: str, agent: str) -> None:
+        """Record one fetch from ``agent`` against ``host``."""
+        self._by_host_agent[host][agent] += 1
+
+    def reset(self) -> None:
+        """Forget all recorded load."""
+        self._by_host_agent.clear()
+
+    def total(self, host: str | None = None, agent: str | None = None) -> int:
+        """Total fetches, optionally filtered by host and/or agent."""
+        hosts = [host] if host is not None else list(self._by_host_agent.keys())
+        total = 0
+        for name in hosts:
+            counts = self._by_host_agent.get(name)
+            if counts is None:
+                continue
+            if agent is None:
+                total += sum(counts.values())
+            else:
+                total += counts.get(agent, 0)
+        return total
+
+    def snapshot(self, host: str) -> LoadSnapshot:
+        """Load summary for one host."""
+        counts = self._by_host_agent.get(host, Counter())
+        return LoadSnapshot(host=host, total=sum(counts.values()), by_agent=dict(counts))
+
+    def hosts(self) -> list[str]:
+        """All hosts that received at least one fetch."""
+        return sorted(self._by_host_agent.keys())
+
+    def per_host(self, agent: str | None = None) -> dict[str, int]:
+        """Mapping host -> fetch count (optionally for a single agent)."""
+        return {host: self.total(host=host, agent=agent) for host in self.hosts()}
+
+    def max_per_host(self, agent: str | None = None) -> int:
+        """The heaviest per-host load (0 when nothing recorded)."""
+        loads = self.per_host(agent=agent)
+        return max(loads.values()) if loads else 0

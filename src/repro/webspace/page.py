@@ -1,0 +1,56 @@
+"""Web pages returned by the simulated web."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One fetched page.
+
+    ``status`` follows HTTP conventions (200, 404, 405 for a GET against a
+    POST-only form action, 500 for backend errors).  ``html`` is always
+    present -- error pages carry a small explanatory body, which matters for
+    the informativeness test (error pages all look alike).
+    """
+
+    url: str
+    html: str
+    status: int = 200
+    content_type: str = "text/html"
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __len__(self) -> int:
+        return len(self.html)
+
+
+def not_found(url: str) -> WebPage:
+    """A 404 page."""
+    html = (
+        "<html><head><title>Not Found</title></head>"
+        "<body><h1>404 Not Found</h1><p>The requested page does not exist.</p></body></html>"
+    )
+    return WebPage(url=url, html=html, status=404)
+
+
+def method_not_allowed(url: str) -> WebPage:
+    """A 405 page (GET issued against a POST-only form action)."""
+    html = (
+        "<html><head><title>Method Not Allowed</title></head>"
+        "<body><h1>405 Method Not Allowed</h1>"
+        "<p>This form only accepts POST submissions.</p></body></html>"
+    )
+    return WebPage(url=url, html=html, status=405)
+
+
+def server_error(url: str, message: str = "internal error") -> WebPage:
+    """A 500 page."""
+    html = (
+        "<html><head><title>Error</title></head>"
+        f"<body><h1>500 Server Error</h1><p>{message}</p></body></html>"
+    )
+    return WebPage(url=url, html=html, status=500)

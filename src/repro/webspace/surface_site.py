@@ -1,0 +1,143 @@
+"""Surface-web sites.
+
+These model the heavily search-engine-optimized sites the paper contrasts
+with deep-web content: popular head topics (celebrities, consumer products)
+covered by many interlinked static pages that a crawler reaches without any
+form filling.  Head queries in the generated query log are answered by these
+pages, so deep-web surfacing shows little head impact -- exactly the paper's
+long-tail observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import SeededRng
+from repro.webspace import html as markup
+from repro.webspace.page import WebPage, not_found
+from repro.webspace.url import Url
+
+_SECTIONS = ["news", "photos", "reviews", "biography", "specs", "interviews", "history"]
+
+_FILLER = [
+    "latest", "official", "exclusive", "complete", "updated", "popular",
+    "featured", "guide", "coverage", "information", "profile", "release",
+]
+
+
+@dataclass(frozen=True)
+class SurfaceTopic:
+    """One head topic covered by a surface site."""
+
+    slug: str
+    name: str
+    page_count: int
+
+
+class SurfaceSite:
+    """A static, fully-linked site about popular topics."""
+
+    kind = "surface"
+
+    def __init__(
+        self,
+        host: str,
+        title: str,
+        topics: list[SurfaceTopic],
+        rng: SeededRng | None = None,
+    ) -> None:
+        self.host = host
+        self.title = title
+        self.topics = list(topics)
+        self._rng = rng or SeededRng(host)
+
+    def homepage_url(self) -> Url:
+        return Url(host=self.host, path="/")
+
+    def topic_url(self, topic: SurfaceTopic, page: int = 0) -> Url:
+        if page == 0:
+            return Url(host=self.host, path=f"/{topic.slug}")
+        return Url(host=self.host, path=f"/{topic.slug}/{page}")
+
+    def size(self) -> int:
+        """Total number of pages the site serves (excluding the homepage)."""
+        return sum(topic.page_count + 1 for topic in self.topics)
+
+    def handle(self, url: Url) -> WebPage:
+        """Serve a GET request."""
+        if url.host != self.host:
+            return not_found(str(url))
+        if url.path == "/":
+            return self._homepage(url)
+        parts = [part for part in url.path.split("/") if part]
+        slug = parts[0]
+        topic = next((candidate for candidate in self.topics if candidate.slug == slug), None)
+        if topic is None:
+            return not_found(str(url))
+        if len(parts) == 1:
+            return self._topic_index(url, topic)
+        try:
+            page_number = int(parts[1])
+        except ValueError:
+            return not_found(str(url))
+        if page_number < 1 or page_number > topic.page_count:
+            return not_found(str(url))
+        return self._topic_page(url, topic, page_number)
+
+    # -- rendering ------------------------------------------------------------
+
+    def _homepage(self, url: Url) -> WebPage:
+        links = [
+            markup.link(str(self.topic_url(topic)), topic.name) for topic in self.topics
+        ]
+        body = "".join(
+            [
+                markup.heading(self.title),
+                markup.paragraph(
+                    f"{self.title} covers the most popular topics with "
+                    f"{sum(topic.page_count for topic in self.topics)} articles."
+                ),
+                markup.unordered_list(links),
+            ]
+        )
+        return WebPage(url=str(url), html=markup.render_page(self.title, body))
+
+    def _topic_index(self, url: Url, topic: SurfaceTopic) -> WebPage:
+        links = [
+            markup.link(
+                str(self.topic_url(topic, page)),
+                f"{topic.name} {_SECTIONS[(page - 1) % len(_SECTIONS)]}",
+            )
+            for page in range(1, topic.page_count + 1)
+        ]
+        body = "".join(
+            [
+                markup.heading(topic.name),
+                markup.paragraph(self._topic_blurb(topic, 0)),
+                markup.unordered_list(links),
+                markup.link(str(self.homepage_url()), self.title),
+            ]
+        )
+        return WebPage(url=str(url), html=markup.render_page(topic.name, body))
+
+    def _topic_page(self, url: Url, topic: SurfaceTopic, page_number: int) -> WebPage:
+        section = _SECTIONS[(page_number - 1) % len(_SECTIONS)]
+        title = f"{topic.name} {section}"
+        body = "".join(
+            [
+                markup.heading(title),
+                markup.paragraph(self._topic_blurb(topic, page_number)),
+                markup.paragraph(self._topic_blurb(topic, page_number + 100)),
+                markup.link(str(self.topic_url(topic)), f"All about {topic.name}"),
+                markup.link(str(self.homepage_url()), self.title),
+            ]
+        )
+        return WebPage(url=str(url), html=markup.render_page(title, body))
+
+    def _topic_blurb(self, topic: SurfaceTopic, salt: int) -> str:
+        rng = self._rng.child(f"{topic.slug}/{salt}")
+        words = rng.sample(_FILLER, 5)
+        return (
+            f"{topic.name} {' '.join(words[:3])}. "
+            f"Everything about {topic.name}: {' '.join(words[3:])} and more."
+        )

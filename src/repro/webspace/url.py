@@ -1,0 +1,82 @@
+"""URL model.
+
+Surfacing is all about generating URLs for GET form submissions, so the URL
+type is deliberately explicit: host + path + an ordered mapping of query
+parameters.  Parameters are kept sorted when rendering, which makes URL
+de-duplication trivial (two submissions with the same bindings render to the
+same string).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, quote_plus, urlsplit
+
+
+@dataclass(frozen=True)
+class Url:
+    """An absolute URL inside the simulated web (scheme is implicit)."""
+
+    host: str
+    path: str = "/"
+    params: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            object.__setattr__(self, "path", "/" + self.path)
+        normalized = tuple(sorted((str(key), str(value)) for key, value in self.params))
+        object.__setattr__(self, "params", normalized)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def build(cls, host: str, path: str = "/", params: dict[str, object] | None = None) -> "Url":
+        """Build a URL from a plain dict of parameters."""
+        pairs = tuple((key, str(value)) for key, value in (params or {}).items())
+        return cls(host=host, path=path, params=pairs)
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse a URL string previously produced by :meth:`__str__`.
+
+        Accepts both ``http://host/path?query`` and ``host/path?query``.
+        """
+        if "://" not in text:
+            text = "http://" + text
+        split = urlsplit(text)
+        # parse_qsl already decodes %XX escapes and '+' -> space.
+        params = tuple(parse_qsl(split.query, keep_blank_values=True))
+        return cls(host=split.netloc, path=split.path or "/", params=params)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def param_dict(self) -> dict[str, str]:
+        """Query parameters as a dict (last value wins for duplicate keys)."""
+        return dict(self.params)
+
+    def param(self, key: str, default: str | None = None) -> str | None:
+        return self.param_dict.get(key, default)
+
+    def with_params(self, **updates: object) -> "Url":
+        """A copy with additional / replaced query parameters."""
+        merged = self.param_dict
+        for key, value in updates.items():
+            merged[key] = str(value)
+        return Url.build(self.host, self.path, merged)
+
+    def without_params(self, *keys: str) -> "Url":
+        """A copy with the named query parameters removed."""
+        remaining = {key: value for key, value in self.params if key not in keys}
+        return Url.build(self.host, self.path, remaining)
+
+    def query_string(self) -> str:
+        """The encoded query string (no leading '?')."""
+        return "&".join(
+            f"{quote_plus(key)}={quote_plus(value)}" for key, value in self.params
+        )
+
+    def __str__(self) -> str:
+        query = self.query_string()
+        suffix = f"?{query}" if query else ""
+        return f"http://{self.host}{self.path}{suffix}"

@@ -1,0 +1,87 @@
+"""The Web: the universe of sites plus the fetch interface.
+
+Every component -- the crawler, the surfacer, the virtual-integration engine
+and the simulated users -- accesses sites exclusively through
+:meth:`Web.fetch`, which records per-site load in a :class:`LoadMeter`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Union
+
+from repro.webspace.loadmeter import AGENT_CRAWLER, LoadMeter
+from repro.webspace.page import WebPage, not_found
+from repro.webspace.site import DeepWebSite
+from repro.webspace.surface_site import SurfaceSite
+from repro.webspace.url import Url
+
+
+class Site(Protocol):
+    """Anything servable by the web: needs a host, a kind and a handler."""
+
+    host: str
+    kind: str
+
+    def handle(self, url: Url) -> WebPage:  # pragma: no cover - protocol
+        ...
+
+    def homepage_url(self) -> Url:  # pragma: no cover - protocol
+        ...
+
+
+class Web:
+    """A registry of sites addressable by host name."""
+
+    def __init__(self) -> None:
+        self._sites: dict[str, Site] = {}
+        self.load_meter = LoadMeter()
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._sites
+
+    def register(self, site: Site) -> None:
+        """Add a site; hosts must be unique."""
+        if site.host in self._sites:
+            raise ValueError(f"host {site.host!r} is already registered")
+        self._sites[site.host] = site
+
+    def register_all(self, sites: Iterable[Site]) -> None:
+        for site in sites:
+            self.register(site)
+
+    def site(self, host: str) -> Site:
+        """Look up a site by host."""
+        try:
+            return self._sites[host]
+        except KeyError:
+            raise KeyError(f"no site registered for host {host!r}") from None
+
+    def sites(self) -> list[Site]:
+        return list(self._sites.values())
+
+    def deep_sites(self) -> list[DeepWebSite]:
+        return [site for site in self._sites.values() if isinstance(site, DeepWebSite)]
+
+    def surface_sites(self) -> list[SurfaceSite]:
+        return [site for site in self._sites.values() if isinstance(site, SurfaceSite)]
+
+    def homepage_urls(self) -> list[Url]:
+        """Seed URLs for the crawler: every site's homepage."""
+        return [site.homepage_url() for site in self._sites.values()]
+
+    def fetch(self, url: Union[Url, str], agent: str = AGENT_CRAWLER) -> WebPage:
+        """Fetch a URL on behalf of ``agent`` (load is metered per host)."""
+        if isinstance(url, str):
+            url = Url.parse(url)
+        self.load_meter.record(url.host, agent)
+        site = self._sites.get(url.host)
+        if site is None:
+            return not_found(str(url))
+        return site.handle(url)
+
+    def total_deep_records(self) -> int:
+        """Total number of records across all deep-web site backends."""
+        return sum(site.size() for site in self.deep_sites())

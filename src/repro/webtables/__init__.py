@@ -1,0 +1,31 @@
+"""Aggregation of structured data on the Web (Section 6).
+
+The paper argues that beyond serving individual queries, large collections
+of structured meta-data -- form schemas and HTML-table schemas -- enable a
+set of *semantic services*: attribute synonyms, values for an attribute,
+properties of an entity, and schema auto-complete.  This package builds the
+corpus from the simulated web (HTML tables from crawled/surfaced pages plus
+form input co-occurrences) and implements those services on top of ACSDb-style
+co-occurrence statistics.
+"""
+
+from repro.webtables.corpus import CorpusTable, TableCorpus
+from repro.webtables.acsdb import AcsDb
+from repro.webtables.services import (
+    AutocompleteService,
+    PropertyService,
+    SynonymService,
+    ValuesService,
+)
+from repro.webtables.semantic_server import SemanticServer
+
+__all__ = [
+    "CorpusTable",
+    "TableCorpus",
+    "AcsDb",
+    "SynonymService",
+    "ValuesService",
+    "PropertyService",
+    "AutocompleteService",
+    "SemanticServer",
+]

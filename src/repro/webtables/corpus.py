@@ -1,0 +1,185 @@
+"""The table / schema corpus (the WebTables raw material).
+
+Three ingestion paths feed the corpus:
+
+* HTML tables extracted from fetched pages, kept only when they pass the
+  relational-quality filter (header row, enough rows and columns);
+* attribute/value tables from deep-web detail pages, which contribute one
+  *schema instance* each (the set of attribute names plus their values);
+* parsed HTML forms, which contribute input-name co-occurrence sets and
+  select-menu value lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.htmlparse.forms import ParsedForm
+from repro.htmlparse.tables import HtmlTable, extract_tables
+from repro.util.text import name_tokens
+from repro.webspace.page import WebPage
+
+
+def normalize_attribute(name: str) -> str:
+    """Canonical attribute spelling used throughout the corpus."""
+    tokens = name_tokens(name)
+    return "_".join(tokens) if tokens else name.strip().lower()
+
+
+@dataclass(frozen=True)
+class CorpusTable:
+    """One relational table admitted to the corpus."""
+
+    attributes: tuple[str, ...]
+    values: tuple[tuple[str, ...], ...]
+    source_url: str = ""
+    source_kind: str = "html_table"  # 'html_table' | 'detail_page' | 'form'
+
+    @property
+    def row_count(self) -> int:
+        return len(self.values)
+
+    def column_values(self, attribute: str) -> list[str]:
+        if attribute not in self.attributes:
+            return []
+        index = self.attributes.index(attribute)
+        return [row[index] for row in self.values if index < len(row) and row[index]]
+
+
+@dataclass
+class CorpusStats:
+    """Summary counts of what the corpus ingested."""
+
+    pages_seen: int = 0
+    tables_seen: int = 0
+    tables_admitted: int = 0
+    detail_records: int = 0
+    forms_seen: int = 0
+
+
+class TableCorpus:
+    """Accumulates relational tables and form schemata."""
+
+    def __init__(self, min_rows: int = 2, min_columns: int = 2, max_columns: int = 30) -> None:
+        self.min_rows = min_rows
+        self.min_columns = min_columns
+        self.max_columns = max_columns
+        self.tables: list[CorpusTable] = []
+        self.form_schemas: list[tuple[str, ...]] = []
+        self.form_values: dict[str, list[str]] = {}
+        self.stats = CorpusStats()
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_page(self, page: WebPage) -> int:
+        """Extract and admit tables from one page; returns how many were admitted."""
+        if not page.ok:
+            return 0
+        self.stats.pages_seen += 1
+        admitted = 0
+        for table in extract_tables(page.html, page_url=page.url):
+            self.stats.tables_seen += 1
+            corpus_table = self._admit(table, page.url)
+            if corpus_table is not None:
+                self.tables.append(corpus_table)
+                admitted += 1
+        return admitted
+
+    def add_pages(self, pages: Iterable[WebPage]) -> int:
+        return sum(self.add_page(page) for page in pages)
+
+    def add_form(self, form: ParsedForm) -> None:
+        """Record a form's input-name schema and its select-menu values."""
+        self.stats.forms_seen += 1
+        names = tuple(
+            sorted(
+                {
+                    normalize_attribute(spec.name)
+                    for spec in form.inputs
+                    if spec.is_bindable and spec.name
+                }
+            )
+        )
+        if len(names) >= 2:
+            self.form_schemas.append(names)
+        for spec in form.inputs:
+            if spec.is_select and spec.options:
+                attribute = normalize_attribute(spec.name)
+                values = self.form_values.setdefault(attribute, [])
+                for option in spec.options:
+                    if option and option not in values:
+                        values.append(option)
+
+    # -- quality filter ----------------------------------------------------------
+
+    def _admit(self, table: HtmlTable, source_url: str) -> CorpusTable | None:
+        """Apply the relational-quality filter and normalize the table."""
+        if table.has_header:
+            if (
+                table.row_count < self.min_rows
+                or table.column_count < self.min_columns
+                or table.column_count > self.max_columns
+            ):
+                return None
+            attributes = tuple(normalize_attribute(name) for name in table.header)
+            if len(set(attributes)) != len(attributes):
+                return None
+            self.stats.tables_admitted += 1
+            return CorpusTable(
+                attributes=attributes,
+                values=table.rows,
+                source_url=source_url,
+                source_kind="html_table",
+            )
+        # Attribute/value detail tables become single-row schema instances.
+        if table.row_count >= self.min_columns and all(len(row) >= 2 for row in table.rows):
+            attributes = tuple(normalize_attribute(row[0]) for row in table.rows)
+            if len(set(attributes)) != len(attributes):
+                return None
+            values = (tuple(row[1] for row in table.rows),)
+            self.stats.detail_records += 1
+            self.stats.tables_admitted += 1
+            return CorpusTable(
+                attributes=attributes,
+                values=values,
+                source_url=source_url,
+                source_kind="detail_page",
+            )
+        return None
+
+    # -- corpus views ---------------------------------------------------------------
+
+    def schemata(self) -> list[tuple[str, ...]]:
+        """Every schema (attribute-name set) in the corpus, tables and forms alike."""
+        schemas = [table.attributes for table in self.tables]
+        schemas.extend(self.form_schemas)
+        return schemas
+
+    def attribute_values(self, attribute: str) -> list[str]:
+        """All observed values for an attribute across tables and forms."""
+        attribute = normalize_attribute(attribute)
+        values: list[str] = []
+        seen = set()
+        for table in self.tables:
+            for value in table.column_values(attribute):
+                key = value.strip().lower()
+                if key and key not in seen:
+                    seen.add(key)
+                    values.append(value)
+        for value in self.form_values.get(attribute, []):
+            key = value.strip().lower()
+            if key and key not in seen:
+                seen.add(key)
+                values.append(value)
+        return values
+
+    def attributes(self) -> list[str]:
+        """Every distinct attribute name in the corpus."""
+        names: set[str] = set()
+        for schema in self.schemata():
+            names.update(schema)
+        return sorted(names)

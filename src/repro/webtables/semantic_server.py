@@ -1,0 +1,79 @@
+"""The semantic server facade (Section 6).
+
+Bundles the corpus, the ACSDb statistics and the four services behind one
+object, and provides the convenience constructor that builds everything from
+a simulated web (crawling detail pages and form pages for raw material).
+"""
+
+from __future__ import annotations
+
+from repro.htmlparse.forms import extract_forms
+from repro.webspace.loadmeter import AGENT_CRAWLER
+from repro.webspace.web import Web
+from repro.webtables.acsdb import AcsDb
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.services import (
+    AutocompleteService,
+    PropertyService,
+    ScoredName,
+    SynonymService,
+    ValuesService,
+)
+
+
+class SemanticServer:
+    """One facade over the four semantic services."""
+
+    def __init__(self, corpus: TableCorpus) -> None:
+        self.corpus = corpus
+        self.acsdb = AcsDb.from_corpus(corpus)
+        self.synonym_service = SynonymService(self.acsdb)
+        self.values_service = ValuesService(corpus)
+        self.property_service = PropertyService(corpus, self.acsdb)
+        self.autocomplete_service = AutocompleteService(self.acsdb)
+
+    # -- service entry points --------------------------------------------------
+
+    def synonyms(self, attribute: str, limit: int = 10) -> list[ScoredName]:
+        """Names often used as synonyms of ``attribute``."""
+        return self.synonym_service.synonyms(attribute, limit=limit)
+
+    def values(self, attribute: str, limit: int | None = None) -> list[str]:
+        """Observed values for ``attribute``'s column."""
+        return self.values_service.values(attribute, limit=limit)
+
+    def properties(self, entity_value: str, limit: int = 10) -> list[ScoredName]:
+        """Attributes plausibly associated with an entity."""
+        return self.property_service.properties(entity_value, limit=limit)
+
+    def autocomplete(self, attributes: list[str], limit: int = 10) -> list[ScoredName]:
+        """Schema auto-complete suggestions for a partial attribute list."""
+        return self.autocomplete_service.suggest(attributes, limit=limit)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_web(
+        cls,
+        web: Web,
+        detail_pages_per_site: int = 15,
+        agent: str = AGENT_CRAWLER,
+    ) -> "SemanticServer":
+        """Build a semantic server by sampling the simulated web.
+
+        For every deep-web site the builder ingests the homepage form and a
+        sample of detail pages (attribute/value tables).  This mirrors how
+        the production corpus was assembled from crawled pages and forms.
+        """
+        corpus = TableCorpus()
+        for site in web.deep_sites():
+            homepage = web.fetch(site.homepage_url(), agent=agent)
+            if homepage.ok:
+                for form in extract_forms(homepage.html, page_url=homepage.url):
+                    corpus.add_form(form)
+            for table in site.database.tables():
+                keys = table.primary_keys()[:detail_pages_per_site]
+                for key in keys:
+                    page = web.fetch(site.detail_url(key), agent=agent)
+                    corpus.add_page(page)
+        return cls(corpus)

@@ -1,0 +1,148 @@
+"""Tests for correlated-input detection (ranges, database selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.correlations import CorrelationDetector, _split_range_name
+from repro.core.form_model import SurfacingForm, discover_forms
+from repro.htmlparse.forms import ParsedForm, ParsedInput
+from repro.webspace.web import Web
+
+
+def form_with(inputs: list[ParsedInput]) -> SurfacingForm:
+    parsed = ParsedForm(action="/search", method="get", inputs=tuple(inputs))
+    return SurfacingForm(host="test.example.com", parsed=parsed)
+
+
+class TestRangeNameSplitting:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("min_price", ("price", "min")),
+            ("max_price", ("price", "max")),
+            ("price_min", ("price", "min")),
+            ("price_from", ("price", "min")),
+            ("price_to", ("price", "max")),
+            ("minprice", ("price", "min")),
+            ("maxmileage", ("mileage", "max")),
+            ("low_year", ("year", "min")),
+            ("high_year", ("year", "max")),
+        ],
+    )
+    def test_recognized_patterns(self, name, expected):
+        assert _split_range_name(name) == expected
+
+    @pytest.mark.parametrize("name", ["price", "make", "q", "min", "max"])
+    def test_non_range_names(self, name):
+        assert _split_range_name(name) is None
+
+
+class TestRangeDetection:
+    def test_detects_min_max_pair(self):
+        form = form_with(
+            [
+                ParsedInput(name="min_price", kind="select", options=("100", "200", "300")),
+                ParsedInput(name="max_price", kind="select", options=("100", "200", "300")),
+                ParsedInput(name="make", kind="select", options=("Toyota",)),
+            ]
+        )
+        pairs = CorrelationDetector().detect_ranges(form)
+        assert len(pairs) == 1
+        assert pairs[0].property_name == "price"
+        assert pairs[0].min_input == "min_price"
+        assert pairs[0].max_input == "max_price"
+        assert pairs[0].options == ("100", "200", "300")
+
+    def test_requires_both_bounds(self):
+        form = form_with([ParsedInput(name="min_price", kind="select", options=("1",))])
+        assert CorrelationDetector().detect_ranges(form) == []
+
+    def test_multiple_pairs(self):
+        form = form_with(
+            [
+                ParsedInput(name="price_from", kind="select", options=("1", "2")),
+                ParsedInput(name="price_to", kind="select", options=("1", "2")),
+                ParsedInput(name="year_min", kind="select", options=("1990", "2000")),
+                ParsedInput(name="year_max", kind="select", options=("1990", "2000")),
+            ]
+        )
+        pairs = CorrelationDetector().detect_ranges(form)
+        assert {pair.property_name for pair in pairs} == {"price", "year"}
+
+    def test_numeric_option_requirement(self):
+        form = form_with(
+            [
+                ParsedInput(name="min_size", kind="select", options=("small", "large")),
+                ParsedInput(name="max_size", kind="select", options=("small", "large")),
+            ]
+        )
+        assert CorrelationDetector(require_numeric_options=True).detect_ranges(form) == []
+        assert CorrelationDetector(require_numeric_options=False).detect_ranges(form)
+
+    def test_detects_ranges_on_generated_car_form(self, car_form):
+        pairs = CorrelationDetector().detect_ranges(car_form)
+        properties = {pair.property_name for pair in pairs}
+        assert {"price", "mileage", "year"} <= properties
+
+    def test_range_prevalence(self, car_form):
+        no_range_form = form_with([ParsedInput(name="q", kind="text")])
+        detector = CorrelationDetector()
+        assert detector.range_prevalence([car_form, no_range_form]) == 0.5
+        assert detector.range_prevalence([]) == 0.0
+
+
+class TestDatabaseSelectionDetection:
+    def test_detects_search_box_plus_category_select(self):
+        form = form_with(
+            [
+                ParsedInput(name="q", kind="text"),
+                ParsedInput(
+                    name="category",
+                    kind="select",
+                    options=("movies", "music", "software", "games"),
+                ),
+            ]
+        )
+        detection = CorrelationDetector().detect_database_selection(form)
+        assert detection is not None
+        assert detection.text_input == "q"
+        assert detection.select_input == "category"
+        assert detection.categories == ("movies", "music", "software", "games")
+
+    def test_numeric_select_not_a_database_selector(self):
+        form = form_with(
+            [
+                ParsedInput(name="q", kind="text"),
+                ParsedInput(name="bedrooms", kind="select", options=("1", "2", "3")),
+            ]
+        )
+        assert CorrelationDetector().detect_database_selection(form) is None
+
+    def test_requires_exactly_one_search_box(self):
+        form = form_with(
+            [
+                ParsedInput(name="q", kind="text"),
+                ParsedInput(name="keywords", kind="text"),
+                ParsedInput(name="category", kind="select", options=("a", "b")),
+            ]
+        )
+        assert CorrelationDetector().detect_database_selection(form) is None
+
+    def test_requires_selector_name_hint(self):
+        form = form_with(
+            [
+                ParsedInput(name="q", kind="text"),
+                ParsedInput(name="make", kind="select", options=("Toyota", "Honda")),
+            ]
+        )
+        assert CorrelationDetector().detect_database_selection(form) is None
+
+    def test_detects_on_generated_media_site(self, media_site):
+        web = Web()
+        web.register(media_site)
+        page = web.fetch(media_site.homepage_url())
+        form = discover_forms(page)[0]
+        detection = CorrelationDetector().detect_database_selection(form)
+        assert detection is not None
+        assert set(detection.categories) == {"movies", "music", "software", "games"}

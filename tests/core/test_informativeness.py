@@ -1,0 +1,120 @@
+"""Tests for page signatures and the informativeness measure."""
+
+from __future__ import annotations
+
+from repro.core.informativeness import (
+    PageSignature,
+    distinct_signature_fraction,
+    is_informative,
+    record_ids_from_links,
+    signature_for_page,
+    signature_of,
+)
+from repro.webspace.page import not_found
+
+
+RESULTS_HTML = """
+<html><head><title>Results</title></head><body>
+<p class="result-count">3 results found</p>
+<div class="result"><h3><a href="http://cars.test/item?id=4">Car A</a></h3><p>make: Toyota</p></div>
+<div class="result"><h3><a href="http://cars.test/item?id=9">Car B</a></h3><p>make: Honda</p></div>
+<div class="result"><h3><a href="http://cars.test/item?id=11">Car C</a></h3><p>make: Ford</p></div>
+</body></html>
+"""
+
+EMPTY_HTML = """
+<html><head><title>Results</title></head><body>
+<p class="result-count">No results found</p>
+</body></html>
+"""
+
+
+class TestSignatureOf:
+    def test_result_count_parsed_from_banner(self):
+        signature = signature_of(RESULTS_HTML)
+        assert signature.result_count == 3
+        assert not signature.is_error
+        assert not signature.is_empty
+
+    def test_record_ids_from_detail_links(self):
+        signature = signature_of(RESULTS_HTML)
+        assert signature.record_ids == frozenset(
+            {"cars.test#4", "cars.test#9", "cars.test#11"}
+        )
+
+    def test_empty_page(self):
+        signature = signature_of(EMPTY_HTML)
+        assert signature.result_count == 0
+        assert signature.is_empty
+
+    def test_error_page_detected(self):
+        signature = signature_of(not_found("http://x.com/").html)
+        assert signature.is_error
+
+    def test_count_falls_back_to_record_links(self):
+        html = RESULTS_HTML.replace('<p class="result-count">3 results found</p>', "")
+        assert signature_of(html).result_count == 3
+
+    def test_signature_for_page_resolves_relative_links(self):
+        html = RESULTS_HTML.replace("http://cars.test/item", "/item")
+        signature = signature_for_page(html, "http://cars.test/search?make=Toyota")
+        assert signature.record_ids == frozenset({"cars.test#4", "cars.test#9", "cars.test#11"})
+
+    def test_distinct_from(self):
+        first = signature_of(RESULTS_HTML)
+        second = signature_of(RESULTS_HTML.replace("id=11", "id=12"))
+        empty = signature_of(EMPTY_HTML)
+        assert first.distinct_from(second)
+        assert not first.distinct_from(first)
+        assert not empty.distinct_from(signature_of(not_found("u").html))
+
+
+class TestInformativeness:
+    def _signature(self, ids: set[str], error: bool = False) -> PageSignature:
+        return PageSignature(
+            content_hash=str(sorted(ids)),
+            result_count=len(ids),
+            record_ids=frozenset(ids),
+            is_error=error,
+        )
+
+    def test_all_distinct_is_fully_informative(self):
+        signatures = [self._signature({f"r{i}"}) for i in range(5)]
+        assert distinct_signature_fraction(signatures) == 1.0
+        assert is_informative(signatures)
+
+    def test_all_identical_is_barely_informative(self):
+        signatures = [self._signature({"r1"}) for _ in range(10)]
+        assert distinct_signature_fraction(signatures) == 0.1
+        assert not is_informative(signatures, threshold=0.25)
+
+    def test_errors_and_empties_do_not_count(self):
+        signatures = [self._signature(set()) for _ in range(4)] + [
+            self._signature({"x"}, error=True)
+        ]
+        assert distinct_signature_fraction(signatures) == 0.0
+
+    def test_empty_input(self):
+        assert distinct_signature_fraction([]) == 0.0
+        assert not is_informative([])
+
+    def test_threshold_behaviour(self):
+        signatures = [self._signature({"a"}), self._signature({"a"}), self._signature({"b"}), self._signature({"c"})]
+        fraction = distinct_signature_fraction(signatures)
+        assert fraction == 0.75
+        assert is_informative(signatures, threshold=0.7)
+        assert not is_informative(signatures, threshold=0.8)
+
+
+class TestRecordIdsFromLinks:
+    def test_only_item_links_counted(self):
+        links = [
+            "http://a.com/item?id=1",
+            "http://a.com/item?id=2",
+            "http://a.com/other?id=3",
+            "http://a.com/",
+        ]
+        assert record_ids_from_links(links) == frozenset({"a.com#1", "a.com#2"})
+
+    def test_item_link_without_id_ignored(self):
+        assert record_ids_from_links(["http://a.com/item"]) == frozenset()

@@ -1,0 +1,126 @@
+"""Tests for query templates and the informative-template search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.templates import QueryTemplate, TemplateSelector
+from repro.util.rng import SeededRng
+
+
+def selector(prober, **overrides) -> TemplateSelector:
+    defaults = dict(
+        informativeness_threshold=0.2,
+        max_dimensions=2,
+        probes_per_template=8,
+        max_templates=20,
+        rng=SeededRng("test-templates"),
+    )
+    defaults.update(overrides)
+    return TemplateSelector(prober, **defaults)
+
+
+class TestQueryTemplate:
+    def test_inputs_are_sorted_and_deduplicated_identity(self):
+        assert QueryTemplate(("b", "a")) == QueryTemplate(("a", "b"))
+        assert str(QueryTemplate(("b", "a"))) == "a+b"
+
+    def test_dimensions(self):
+        assert QueryTemplate(("a",)).dimensions == 1
+        assert QueryTemplate(("a", "b", "c")).dimensions == 3
+
+    def test_extend(self):
+        extended = QueryTemplate(("a",)).extend("b")
+        assert extended.binding_inputs == ("a", "b")
+        with pytest.raises(ValueError):
+            extended.extend("a")
+
+
+class TestSampleBindings:
+    def test_full_product_when_small(self, car_form, car_prober):
+        sel = selector(car_prober)
+        template = QueryTemplate(("make",))
+        bindings = sel.sample_bindings(template, {"make": ["Toyota", "Honda"]})
+        assert bindings == [{"make": "Toyota"}, {"make": "Honda"}]
+
+    def test_sampled_when_product_is_large(self, car_prober):
+        sel = selector(car_prober, probes_per_template=5)
+        template = QueryTemplate(("a", "b"))
+        values = {"a": [str(i) for i in range(10)], "b": [str(i) for i in range(10)]}
+        bindings = sel.sample_bindings(template, values)
+        assert len(bindings) == 5
+        assert len({tuple(sorted(binding.items())) for binding in bindings}) == 5
+
+    def test_empty_value_set_gives_no_bindings(self, car_prober):
+        sel = selector(car_prober)
+        assert sel.sample_bindings(QueryTemplate(("a", "b")), {"a": ["1"], "b": []}) == []
+
+    def test_sampling_is_deterministic(self, car_prober):
+        values = {"a": [str(i) for i in range(20)], "b": [str(i) for i in range(20)]}
+        first = selector(car_prober).sample_bindings(QueryTemplate(("a", "b")), values)
+        second = selector(car_prober).sample_bindings(QueryTemplate(("a", "b")), values)
+        assert first == second
+
+
+class TestEvaluation:
+    def test_select_input_is_informative(self, car_form, car_prober):
+        sel = selector(car_prober)
+        make_input = car_form.select_inputs[0]
+        evaluation = sel.evaluate(
+            car_form, QueryTemplate((make_input.name,)), {make_input.name: list(make_input.options)}
+        )
+        assert evaluation.informative
+        assert evaluation.informativeness > 0.5
+        assert evaluation.distinct_records > 0
+
+    def test_nonsense_values_are_uninformative(self, car_form, car_prober):
+        sel = selector(car_prober)
+        search_box = next(spec for spec in car_form.text_inputs)
+        evaluation = sel.evaluate(
+            car_form,
+            QueryTemplate((search_box.name,)),
+            {search_box.name: ["zzqx", "qqqqq", "xyzzy42"]},
+        )
+        assert not evaluation.informative
+        assert evaluation.distinct_records == 0
+
+
+class TestLatticeSearch:
+    def test_selects_informative_templates_and_extends(self, car_form, car_prober):
+        make_input = car_form.select_inputs[0]
+        color_input = car_form.select_inputs[1]
+        value_sets = {
+            make_input.name: list(make_input.options),
+            color_input.name: list(color_input.options),
+        }
+        evaluations = selector(car_prober).select_templates(car_form, value_sets)
+        templates = {str(evaluation.template) for evaluation in evaluations}
+        assert make_input.name in templates
+        assert color_input.name in templates
+        assert any("+" in name for name in templates), "an informative 2-d template should be found"
+
+    def test_uninformative_inputs_are_not_extended(self, car_form, car_prober):
+        search_box = next(spec for spec in car_form.text_inputs)
+        make_input = car_form.select_inputs[0]
+        value_sets = {
+            search_box.name: ["zzqx"],  # never returns results
+            make_input.name: list(make_input.options),
+        }
+        evaluations = selector(car_prober).select_templates(car_form, value_sets)
+        for evaluation in evaluations:
+            assert search_box.name not in evaluation.template.binding_inputs
+
+    def test_max_dimensions_respected(self, car_form, car_prober):
+        value_sets = {
+            spec.name: list(spec.options) for spec in car_form.select_inputs[:3]
+        }
+        evaluations = selector(car_prober, max_dimensions=1).select_templates(car_form, value_sets)
+        assert all(evaluation.template.dimensions == 1 for evaluation in evaluations)
+
+    def test_max_templates_cap(self, car_form, car_prober):
+        value_sets = {spec.name: list(spec.options) for spec in car_form.select_inputs}
+        evaluations = selector(car_prober, max_templates=2).select_templates(car_form, value_sets)
+        assert len(evaluations) <= 2
+
+    def test_no_values_no_templates(self, car_form, car_prober):
+        assert selector(car_prober).select_templates(car_form, {}) == []

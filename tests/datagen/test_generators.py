@@ -1,0 +1,89 @@
+"""Tests for the synthetic row generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import vocab
+from repro.datagen.domains import domain, domain_names
+from repro.datagen.generators import generate_rows, supported_domains
+from repro.util.rng import SeededRng
+
+
+class TestGeneratorRegistry:
+    def test_every_domain_has_a_generator(self):
+        assert set(supported_domains()) == set(domain_names())
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            generate_rows("not_a_domain", 5, SeededRng(1))
+
+
+class TestGeneratedRows:
+    @pytest.mark.parametrize("name", domain_names())
+    def test_rows_validate_against_schema(self, name):
+        schema = domain(name).schema()
+        for row in generate_rows(name, 20, SeededRng(7)):
+            schema.validate_row(row)
+
+    @pytest.mark.parametrize("name", domain_names())
+    def test_ids_are_contiguous_from_one(self, name):
+        rows = generate_rows(name, 15, SeededRng(3))
+        assert [row["id"] for row in rows] == list(range(1, 16))
+
+    @pytest.mark.parametrize("name", domain_names())
+    def test_determinism(self, name):
+        first = generate_rows(name, 10, SeededRng("fixed"))
+        second = generate_rows(name, 10, SeededRng("fixed"))
+        assert first == second
+
+    @pytest.mark.parametrize("name", domain_names())
+    def test_titles_and_descriptions_nonempty(self, name):
+        spec = domain(name)
+        for row in generate_rows(name, 10, SeededRng(5)):
+            assert str(row[spec.title_column]).strip()
+            assert str(row["description"]).strip()
+
+    def test_used_car_model_matches_make(self):
+        for row in generate_rows("used_cars", 50, SeededRng(11)):
+            assert row["model"] in vocab.CAR_MAKES_MODELS[row["make"]]
+
+    def test_used_car_zipcode_matches_city_prefix(self):
+        prefixes = {city: prefix for city, _state, prefix in vocab.CITIES}
+        for row in generate_rows("used_cars", 50, SeededRng(11)):
+            assert row["zipcode"].startswith(prefixes[row["city"]])
+
+    def test_description_mentions_structured_values(self):
+        for row in generate_rows("used_cars", 30, SeededRng(13)):
+            description = row["description"].lower()
+            assert row["make"].lower() in description
+            assert row["city"].lower().split()[0] in description
+
+    def test_media_items_cover_all_categories(self):
+        rows = generate_rows("media_catalog", 200, SeededRng(17))
+        categories = {row["category"] for row in rows}
+        assert categories == set(vocab.MEDIA_CATEGORIES)
+
+    def test_media_software_titles_differ_from_movie_titles(self):
+        rows = generate_rows("media_catalog", 300, SeededRng(19))
+        software_words = {
+            word for row in rows if row["category"] == "software" for word in row["title"].lower().split()
+        }
+        assert software_words & set(vocab.SOFTWARE_WORDS)
+
+    def test_government_years_in_range(self):
+        for row in generate_rows("government", 40, SeededRng(23)):
+            assert 1998 <= row["year"] <= 2008
+
+    def test_jobs_posted_date_is_iso(self):
+        for row in generate_rows("jobs", 20, SeededRng(29)):
+            year, month, day = row["posted_date"].split("-")
+            assert len(year) == 4 and 1 <= int(month) <= 12 and 1 <= int(day) <= 28
+
+    def test_store_phone_format(self):
+        for row in generate_rows("store_locator", 20, SeededRng(31)):
+            area, mid, last = row["phone"].split("-")
+            assert mid == "555" and len(area) == 3 and len(last) == 4
+
+    def test_zero_rows(self):
+        assert generate_rows("books", 0, SeededRng(1)) == []

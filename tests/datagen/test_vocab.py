@@ -1,0 +1,67 @@
+"""Tests for the shared vocabularies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import vocab
+
+
+class TestGeography:
+    def test_cities_have_state_and_prefix(self):
+        for city, state, prefix in vocab.CITIES:
+            assert city and state and prefix
+            assert len(prefix) == 3 and prefix.isdigit()
+
+    def test_city_names_match_cities(self):
+        assert len(vocab.CITY_NAMES) == len(vocab.CITIES)
+
+    def test_states_have_full_names(self):
+        for state in vocab.US_STATES:
+            assert state in vocab.STATE_NAMES
+
+    def test_zipcode_for_known_city(self):
+        code = vocab.zipcode_for("Boston", 7)
+        assert len(code) == 5
+        assert code.startswith("021")
+
+    def test_zipcode_for_unknown_city(self):
+        with pytest.raises(KeyError):
+            vocab.zipcode_for("Atlantis", 1)
+
+    def test_zipcode_suffix_cycles(self):
+        assert vocab.zipcode_for("Boston", 105) == vocab.zipcode_for("Boston", 5)
+
+    def test_all_zipcodes_are_valid(self):
+        assert len(vocab.ALL_ZIPCODES) >= 100
+        assert all(len(code) == 5 and code.isdigit() for code in vocab.ALL_ZIPCODES)
+
+
+class TestVehicles:
+    def test_every_make_has_models(self):
+        for make, models in vocab.CAR_MAKES_MODELS.items():
+            assert make
+            assert len(models) >= 3
+
+    def test_makes_list_matches_dict(self):
+        assert set(vocab.CAR_MAKES) == set(vocab.CAR_MAKES_MODELS.keys())
+
+
+class TestOtherVocabularies:
+    def test_no_duplicate_job_titles(self):
+        assert len(vocab.JOB_TITLES) == len(set(vocab.JOB_TITLES))
+
+    def test_media_categories(self):
+        assert set(vocab.MEDIA_CATEGORIES) == {"movies", "music", "software", "games"}
+
+    def test_languages_have_suffixes(self):
+        for language in vocab.LANGUAGES:
+            assert language in vocab.LANGUAGE_SUFFIXES
+
+    def test_head_topics_exist(self):
+        assert len(vocab.CELEBRITIES) >= 10
+        assert len(vocab.POPULAR_PRODUCTS) >= 10
+
+    def test_gov_topics_nonempty(self):
+        assert len(vocab.GOV_TOPICS) >= 15
+        assert len(vocab.AGENCIES) >= 10

@@ -1,0 +1,95 @@
+"""Tests for DOM parsing and text extraction."""
+
+from __future__ import annotations
+
+from repro.htmlparse.dom import parse_html
+from repro.htmlparse.text import extract_text, extract_title
+
+
+SAMPLE = """
+<html><head><title>Sample Page</title><style>body {color: red}</style></head>
+<body>
+  <h1 class="main">Heading</h1>
+  <div id="content">
+    <p>First paragraph with <a href="/x">a link</a>.</p>
+    <p>Second paragraph.</p>
+  </div>
+  <script>var x = 1;</script>
+  <img src="pic.png"/>
+</body></html>
+"""
+
+
+class TestDomParsing:
+    def test_find_all_and_first(self):
+        root = parse_html(SAMPLE)
+        assert len(root.find_all("p")) == 2
+        assert root.find_first("h1").attr("class") == "main"
+        assert root.find_first("nonexistent") is None
+
+    def test_nested_structure(self):
+        root = parse_html(SAMPLE)
+        content = root.find_first("div")
+        assert content.attr("id") == "content"
+        assert len(content.direct_children("p")) == 2
+
+    def test_text_collection(self):
+        root = parse_html(SAMPLE)
+        text = root.find_first("h1").text()
+        assert text == "Heading"
+
+    def test_void_tags_do_not_nest(self):
+        root = parse_html("<div><img src='a.png'><p>after image</p></div>")
+        div = root.find_first("div")
+        assert [child.tag for child in div.children] == ["img", "p"]
+
+    def test_self_closing_tag(self):
+        root = parse_html("<div><input type='text' name='q'/><span>x</span></div>")
+        assert root.find_first("input").attr("name") == "q"
+
+    def test_mismatched_tags_tolerated(self):
+        root = parse_html("<div><b>bold <i>both</b> italic?</i></div>")
+        assert root.find_first("b") is not None
+        assert "bold" in root.text()
+
+    def test_walk_includes_all_nodes(self):
+        root = parse_html(SAMPLE)
+        tags = [node.tag for node in root.walk()]
+        assert "html" in tags and "p" in tags and "#document" in tags
+
+    def test_attr_default(self):
+        root = parse_html("<p>x</p>")
+        assert root.find_first("p").attr("class", "none") == "none"
+
+    def test_parent_links(self):
+        root = parse_html("<div><p>x</p></div>")
+        paragraph = root.find_first("p")
+        assert paragraph.parent.tag == "div"
+
+
+class TestTextExtraction:
+    def test_title_extraction(self):
+        assert extract_title(SAMPLE) == "Sample Page"
+
+    def test_missing_title(self):
+        assert extract_title("<html><body>no title</body></html>") == ""
+
+    def test_text_skips_script_and_style(self):
+        text = extract_text(SAMPLE)
+        assert "var x" not in text
+        assert "color: red" not in text
+
+    def test_text_includes_title_by_default(self):
+        assert "Sample Page" in extract_text(SAMPLE)
+        assert "Sample Page" not in extract_text(SAMPLE, include_title=False)
+
+    def test_text_includes_body_content(self):
+        text = extract_text(SAMPLE)
+        assert "First paragraph" in text
+        assert "a link" in text
+
+    def test_entity_decoding(self):
+        assert "cats & dogs" in extract_text("<p>cats &amp; dogs</p>")
+
+    def test_empty_document(self):
+        assert extract_text("") == ""

@@ -1,0 +1,81 @@
+"""Tests for the Database container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.errors import DuplicateTableError, UnknownTableError
+from repro.relational.predicate import Eq
+from repro.relational.query import Query
+from repro.relational.schema import Column, DataType, TableSchema
+from repro.relational.table import Table
+
+
+def schema(name: str) -> TableSchema:
+    return TableSchema(
+        name=name,
+        columns=[Column("id", DataType.INTEGER), Column("name", DataType.TEXT)],
+    )
+
+
+class TestTableManagement:
+    def test_create_and_lookup(self):
+        database = Database("test")
+        table = database.create_table(schema("movies"))
+        assert database.table("movies") is table
+        assert "movies" in database
+        assert database.table_names == ["movies"]
+
+    def test_duplicate_table_rejected(self):
+        database = Database("test")
+        database.create_table(schema("movies"))
+        with pytest.raises(DuplicateTableError):
+            database.create_table(schema("movies"))
+
+    def test_add_prebuilt_table(self):
+        database = Database("test")
+        table = Table(schema("music"))
+        database.add_table(table)
+        assert database.table("music") is table
+        with pytest.raises(DuplicateTableError):
+            database.add_table(Table(schema("music")))
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Database("test").table("missing")
+
+    def test_len_counts_tables(self):
+        database = Database("test")
+        database.create_table(schema("a"))
+        database.create_table(schema("b"))
+        assert len(database) == 2
+
+
+class TestDataAccess:
+    def test_insert_and_total_rows(self):
+        database = Database("test")
+        database.create_table(schema("movies"))
+        database.create_table(schema("music"))
+        assert database.insert("movies", [{"id": 1, "name": "Up"}, {"id": 2, "name": "Heat"}]) == 2
+        database.insert("music", [{"id": 1, "name": "Kind of Blue"}])
+        assert database.total_rows() == 3
+
+    def test_execute_routes_to_named_table(self):
+        database = Database("test")
+        database.create_table(schema("movies"))
+        database.insert("movies", [{"id": 1, "name": "Up"}, {"id": 2, "name": "Heat"}])
+        result = database.execute(Query(table="movies", predicate=Eq("name", "Heat")))
+        assert result.total_matches == 1
+        assert result.rows[0]["id"] == 2
+
+    def test_execute_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Database("test").execute(Query(table="nope"))
+
+    def test_all_rows_pairs(self):
+        database = Database("test")
+        database.create_table(schema("movies"))
+        database.insert("movies", [{"id": 1, "name": "Up"}])
+        pairs = database.all_rows()
+        assert pairs == [("movies", {"id": 1, "name": "Up"})]

@@ -1,0 +1,151 @@
+"""Tests for the predicate algebra."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.relational.predicate import And, Contains, Eq, InSet, Or, Range, TruePredicate
+
+
+ROW = {
+    "id": 7,
+    "make": "Toyota",
+    "model": "Camry",
+    "price": 8500,
+    "year": 2003,
+    "title": "2003 Toyota Camry sedan",
+    "description": "clean title excellent condition located in Austin",
+}
+
+
+class TestTruePredicate:
+    def test_matches_everything(self):
+        assert TruePredicate().matches(ROW)
+        assert TruePredicate().matches({})
+
+
+class TestEq:
+    def test_string_match_is_case_insensitive(self):
+        assert Eq("make", "toyota").matches(ROW)
+        assert Eq("make", " TOYOTA ").matches(ROW)
+
+    def test_numeric_match(self):
+        assert Eq("price", 8500).matches(ROW)
+        assert not Eq("price", 8501).matches(ROW)
+
+    def test_missing_column(self):
+        assert not Eq("color", "red").matches(ROW)
+
+    def test_columns(self):
+        assert Eq("make", "x").columns() == {"make"}
+
+
+class TestInSet:
+    def test_membership_case_insensitive(self):
+        assert InSet("make", ["HONDA", "toyota"]).matches(ROW)
+
+    def test_non_member(self):
+        assert not InSet("make", ["Honda", "Ford"]).matches(ROW)
+
+    def test_numeric_membership(self):
+        assert InSet("year", [2003, 2004]).matches(ROW)
+
+    def test_missing_column(self):
+        assert not InSet("color", ["red"]).matches(ROW)
+
+
+class TestRange:
+    def test_inclusive_bounds(self):
+        assert Range("price", low=8500, high=8500).matches(ROW)
+
+    def test_open_ended_low(self):
+        assert Range("price", high=10000).matches(ROW)
+        assert not Range("price", high=1000).matches(ROW)
+
+    def test_open_ended_high(self):
+        assert Range("price", low=5000).matches(ROW)
+        assert not Range("price", low=9000).matches(ROW)
+
+    def test_inverted_range_matches_nothing(self):
+        predicate = Range("price", low=9000, high=1000)
+        assert predicate.is_inverted
+        assert not predicate.matches(ROW)
+
+    def test_non_numeric_value_never_matches(self):
+        assert not Range("make", low=0, high=10).matches(ROW)
+
+    def test_missing_column(self):
+        assert not Range("mileage", low=0, high=10**6).matches(ROW)
+
+
+class TestContains:
+    def test_single_keyword(self):
+        assert Contains(["description"], "austin").matches(ROW)
+
+    def test_all_keywords_required(self):
+        assert Contains(["title", "description"], "toyota austin").matches(ROW)
+        assert not Contains(["title", "description"], "toyota dallas").matches(ROW)
+
+    def test_keyword_list_input(self):
+        assert Contains(["title"], ["Toyota", "Camry"]).matches(ROW)
+
+    def test_empty_keywords_match_everything(self):
+        assert Contains(["title"], "").matches(ROW)
+
+    def test_case_insensitive(self):
+        assert Contains(["make"], "TOYOTA").matches(ROW)
+
+    def test_columns(self):
+        assert Contains(["a", "b"], "x").columns() == {"a", "b"}
+
+
+class TestBooleanCombinators:
+    def test_and_all_parts_must_match(self):
+        predicate = And([Eq("make", "Toyota"), Range("price", low=8000, high=9000)])
+        assert predicate.matches(ROW)
+        assert not And([Eq("make", "Toyota"), Eq("model", "Civic")]).matches(ROW)
+
+    def test_and_flattens_nested_and(self):
+        nested = And([And([Eq("make", "Toyota")]), Eq("model", "Camry")])
+        assert len(nested.parts) == 2
+
+    def test_and_drops_true_predicates(self):
+        predicate = And([TruePredicate(), Eq("make", "Toyota")])
+        assert len(predicate.parts) == 1
+
+    def test_empty_and_matches(self):
+        assert And([]).matches(ROW)
+
+    def test_or_any_part_matches(self):
+        assert Or([Eq("make", "Honda"), Eq("model", "Camry")]).matches(ROW)
+        assert not Or([Eq("make", "Honda"), Eq("model", "Civic")]).matches(ROW)
+
+    def test_empty_or_matches_nothing(self):
+        assert not Or([]).matches(ROW)
+
+    def test_operator_overloads(self):
+        combined = Eq("make", "Toyota") & Eq("model", "Camry")
+        assert isinstance(combined, And) and combined.matches(ROW)
+        either = Eq("make", "Honda") | Eq("model", "Camry")
+        assert isinstance(either, Or) and either.matches(ROW)
+
+    def test_columns_union(self):
+        predicate = And([Eq("make", "x"), Range("price", 1, 2), Contains(["title"], "y")])
+        assert predicate.columns() == {"make", "price", "title"}
+
+
+class TestRangeProperties:
+    @given(
+        value=st.integers(min_value=-1000, max_value=1000),
+        low=st.integers(min_value=-1000, max_value=1000),
+        high=st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_range_matches_iff_value_within(self, value, low, high):
+        row = {"x": value}
+        expected = low <= value <= high
+        assert Range("x", low=low, high=high).matches(row) == expected
+
+    @given(value=st.integers(-100, 100), bound=st.integers(-100, 100))
+    def test_eq_and_inset_agree(self, value, bound):
+        row = {"x": value}
+        assert Eq("x", bound).matches(row) == InSet("x", [bound]).matches(row)

@@ -1,0 +1,143 @@
+"""Tests for query execution: ordering, pagination, projection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.errors import UnknownColumnError
+from repro.relational.predicate import Eq, TruePredicate
+from repro.relational.query import Query, execute, page_count, paginate, select
+from repro.relational.schema import Column, DataType, TableSchema
+from repro.relational.table import Table
+
+
+def build_table(row_count: int = 25) -> Table:
+    schema = TableSchema(
+        name="books",
+        columns=[
+            Column("id", DataType.INTEGER),
+            Column("title", DataType.TEXT, searchable=True),
+            Column("genre", DataType.CATEGORY),
+            Column("price", DataType.INTEGER),
+        ],
+    )
+    table = Table(schema)
+    genres = ["mystery", "romance", "history"]
+    table.insert_many(
+        {
+            "id": index,
+            "title": f"book {index:03d}",
+            "genre": genres[index % 3],
+            "price": (index * 7) % 50,
+        }
+        for index in range(1, row_count + 1)
+    )
+    return table
+
+
+class TestExecute:
+    def test_total_matches_and_rows(self):
+        table = build_table()
+        result = execute(table, Query(table="books", predicate=Eq("genre", "mystery")))
+        assert result.total_matches == len(table.scan(Eq("genre", "mystery")))
+        assert len(result.rows) == result.total_matches
+
+    def test_limit_and_offset(self):
+        table = build_table()
+        result = execute(table, Query(table="books", limit=10, offset=20))
+        assert result.total_matches == 25
+        assert len(result.rows) == 5
+        assert result.offset == 20
+
+    def test_has_more_flag(self):
+        table = build_table()
+        first_page = execute(table, Query(table="books", limit=10))
+        last_page = execute(table, Query(table="books", limit=10, offset=20))
+        assert first_page.has_more
+        assert not last_page.has_more
+
+    def test_order_by_ascending_and_descending(self):
+        table = build_table()
+        ascending = execute(table, Query(table="books", order_by="price"))
+        descending = execute(table, Query(table="books", order_by="price", descending=True))
+        prices_asc = [row["price"] for row in ascending.rows]
+        prices_desc = [row["price"] for row in descending.rows]
+        assert prices_asc == sorted(prices_asc)
+        assert prices_desc == sorted(prices_desc, reverse=True)
+
+    def test_order_by_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            execute(build_table(), Query(table="books", order_by="missing"))
+
+    def test_order_by_handles_none_values(self):
+        table = build_table(3)
+        table.insert({"id": 99, "title": "untitled", "genre": None, "price": 1})
+        result = execute(table, Query(table="books", order_by="genre"))
+        assert result.rows[0]["id"] == 99  # None sorts first
+
+    def test_projection(self):
+        result = execute(build_table(), Query(table="books", projection=("id", "price"), limit=3))
+        assert set(result.rows[0].keys()) == {"id", "price"}
+
+    def test_offset_beyond_total(self):
+        result = execute(build_table(5), Query(table="books", limit=10, offset=50))
+        assert result.rows == ()
+        assert result.total_matches == 5
+
+    def test_result_rows_are_copies(self):
+        table = build_table(3)
+        result = execute(table, Query(table="books"))
+        result.rows[0]["title"] = "mutated"
+        assert table.get(result.rows[0]["id"])["title"] != "mutated"
+
+
+class TestPaginationHelpers:
+    def test_page_count(self):
+        assert page_count(0, 10) == 0
+        assert page_count(10, 10) == 1
+        assert page_count(11, 10) == 2
+
+    def test_page_count_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            page_count(5, 0)
+
+    def test_paginate_builds_offsets(self):
+        base = Query(table="books", predicate=Eq("genre", "mystery"))
+        page2 = paginate(base, page=2, page_size=10)
+        assert page2.offset == 10
+        assert page2.limit == 10
+        assert page2.predicate == base.predicate
+
+    def test_paginate_rejects_page_zero(self):
+        with pytest.raises(ValueError):
+            paginate(Query(table="books"), page=0, page_size=10)
+
+    def test_pages_cover_all_rows_without_overlap(self):
+        table = build_table(23)
+        base = Query(table="books", predicate=TruePredicate())
+        seen: list[int] = []
+        for page in range(1, page_count(23, 7) + 1):
+            result = execute(table, paginate(base, page, 7))
+            seen.extend(row["id"] for row in result.rows)
+        assert sorted(seen) == list(range(1, 24))
+
+
+class TestSelectHelper:
+    def test_select_with_predicate_and_limit(self):
+        table = build_table()
+        result = select(table, predicate=Eq("genre", "romance"), limit=2)
+        assert len(result.rows) == 2
+        assert all(row["genre"] == "romance" for row in result.rows)
+
+    def test_select_projection(self):
+        result = select(build_table(), columns=["id"], limit=1)
+        assert list(result.rows[0].keys()) == ["id"]
+
+
+class TestPaginationProperty:
+    @given(total=st.integers(min_value=0, max_value=200), page_size=st.integers(min_value=1, max_value=50))
+    def test_page_count_times_size_covers_total(self, total, page_size):
+        pages = page_count(total, page_size)
+        assert pages * page_size >= total
+        assert (pages - 1) * page_size < total or pages == 0

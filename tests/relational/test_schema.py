@@ -1,0 +1,111 @@
+"""Tests for table schemas and column types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import Column, DataType, TableSchema
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        name="listings",
+        columns=[
+            Column("id", DataType.INTEGER),
+            Column("title", DataType.TEXT, searchable=True),
+            Column("make", DataType.CATEGORY),
+            Column("price", DataType.INTEGER),
+            Column("zipcode", DataType.ZIPCODE),
+            Column("posted", DataType.DATE),
+        ],
+    )
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.TEXT.is_numeric
+        assert not DataType.ZIPCODE.is_numeric
+
+
+class TestColumnValidation:
+    def test_accepts_correct_types(self):
+        Column("price", DataType.INTEGER).validate_value(100)
+        Column("title", DataType.TEXT).validate_value("hello")
+        Column("zip", DataType.ZIPCODE).validate_value("02139")
+        Column("score", DataType.FLOAT).validate_value(1.5)
+        Column("score", DataType.FLOAT).validate_value(2)
+
+    def test_rejects_wrong_types(self):
+        with pytest.raises(SchemaError):
+            Column("price", DataType.INTEGER).validate_value("100")
+        with pytest.raises(SchemaError):
+            Column("title", DataType.TEXT).validate_value(5)
+
+    def test_rejects_booleans(self):
+        with pytest.raises(SchemaError):
+            Column("price", DataType.INTEGER).validate_value(True)
+
+    def test_none_is_allowed(self):
+        Column("price", DataType.INTEGER).validate_value(None)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=[Column("id", DataType.INTEGER), Column("id", DataType.TEXT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=[Column("a", DataType.TEXT)], primary_key="id")
+
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.column("make").dtype is DataType.CATEGORY
+        with pytest.raises(UnknownColumnError):
+            schema.column("nonexistent")
+
+    def test_has_column(self):
+        schema = make_schema()
+        assert schema.has_column("price")
+        assert not schema.has_column("mileage")
+
+    def test_column_names_order(self):
+        assert make_schema().column_names[:3] == ["id", "title", "make"]
+
+    def test_searchable_columns(self):
+        searchable = [column.name for column in make_schema().searchable_columns]
+        assert searchable == ["title"]
+
+    def test_categorical_and_numeric_columns(self):
+        schema = make_schema()
+        assert [column.name for column in schema.categorical_columns()] == ["make"]
+        assert {column.name for column in schema.numeric_columns()} == {"id", "price"}
+
+    def test_validate_row_requires_primary_key(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"title": "x"})
+
+    def test_validate_row_rejects_unknown_column(self):
+        schema = make_schema()
+        with pytest.raises(UnknownColumnError):
+            schema.validate_row({"id": 1, "mileage": 5})
+
+    def test_validate_row_accepts_partial_rows(self):
+        make_schema().validate_row({"id": 1, "title": "ok"})
+
+    def test_project(self):
+        projected = make_schema().project(["id", "price"])
+        assert projected.column_names == ["id", "price"]
+        assert projected.primary_key == "id"
+
+    def test_project_without_primary_key(self):
+        projected = make_schema().project(["title", "price"])
+        assert projected.primary_key == "title"
+
+    def test_project_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema().project(["id", "nope"])

@@ -1,0 +1,159 @@
+"""Tests for tables: insertion, indexes, scans and statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.errors import SchemaError, UnknownColumnError
+from repro.relational.predicate import And, Contains, Eq, InSet, Range
+from repro.relational.schema import Column, DataType, TableSchema
+from repro.relational.table import Table
+
+
+def make_table(with_rows: bool = True) -> Table:
+    schema = TableSchema(
+        name="cars",
+        columns=[
+            Column("id", DataType.INTEGER),
+            Column("make", DataType.CATEGORY),
+            Column("price", DataType.INTEGER),
+            Column("description", DataType.TEXT, searchable=True),
+        ],
+    )
+    table = Table(schema)
+    if with_rows:
+        table.insert_many(
+            [
+                {"id": 1, "make": "Toyota", "price": 5000, "description": "red toyota camry"},
+                {"id": 2, "make": "Honda", "price": 7000, "description": "blue honda civic"},
+                {"id": 3, "make": "Toyota", "price": 9000, "description": "silver toyota prius"},
+                {"id": 4, "make": "Ford", "price": 3000, "description": "old ford focus"},
+            ]
+        )
+    return table
+
+
+class TestInsertion:
+    def test_len_and_iteration(self):
+        table = make_table()
+        assert len(table) == 4
+        assert {row["id"] for row in table} == {1, 2, 3, 4}
+
+    def test_duplicate_primary_key_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "make": "Kia", "price": 1})
+
+    def test_schema_validation_on_insert(self):
+        table = make_table(with_rows=False)
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "price": "not a number"})
+
+    def test_insert_many_returns_count(self):
+        table = make_table(with_rows=False)
+        assert table.insert_many([{"id": 1}, {"id": 2}]) == 2
+
+
+class TestAccess:
+    def test_get_by_primary_key(self):
+        table = make_table()
+        assert table.get(2)["make"] == "Honda"
+        assert table.get(99) is None
+
+    def test_primary_keys(self):
+        assert make_table().primary_keys() == [1, 2, 3, 4]
+
+    def test_distinct_values(self):
+        assert make_table().distinct_values("make") == ["Toyota", "Honda", "Ford"]
+
+    def test_distinct_values_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            make_table().distinct_values("color")
+
+    def test_column_statistics_numeric(self):
+        stats = make_table().column_statistics("price")
+        assert stats["count"] == 4
+        assert stats["min"] == 3000
+        assert stats["max"] == 9000
+        assert stats["mean"] == pytest.approx(6000)
+
+    def test_column_statistics_categorical(self):
+        stats = make_table().column_statistics("make")
+        assert stats["distinct"] == 3
+        assert "min" not in stats
+
+
+class TestScan:
+    def test_scan_all(self):
+        assert len(make_table().scan()) == 4
+
+    def test_scan_with_eq(self):
+        rows = make_table().scan(Eq("make", "toyota"))
+        assert {row["id"] for row in rows} == {1, 3}
+
+    def test_scan_with_range(self):
+        rows = make_table().scan(Range("price", low=4000, high=8000))
+        assert {row["id"] for row in rows} == {1, 2}
+
+    def test_scan_with_contains(self):
+        rows = make_table().scan(Contains(["description"], "toyota"))
+        assert {row["id"] for row in rows} == {1, 3}
+
+    def test_scan_with_conjunction(self):
+        predicate = And([Eq("make", "Toyota"), Range("price", low=6000, high=None)])
+        rows = make_table().scan(predicate)
+        assert [row["id"] for row in rows] == [3]
+
+    def test_count(self):
+        assert make_table().count(Eq("make", "Ford")) == 1
+
+
+class TestIndexes:
+    def test_index_answers_equality(self):
+        table = make_table()
+        table.create_index("make")
+        rows = table.scan(Eq("make", "Toyota"))
+        assert {row["id"] for row in rows} == {1, 3}
+
+    def test_index_with_inset(self):
+        table = make_table()
+        table.create_index("make")
+        rows = table.scan(InSet("make", ["Honda", "Ford"]))
+        assert {row["id"] for row in rows} == {2, 4}
+
+    def test_index_stays_consistent_after_insert(self):
+        table = make_table()
+        table.create_index("make")
+        table.insert({"id": 5, "make": "Toyota", "price": 100, "description": "x"})
+        assert {row["id"] for row in table.scan(Eq("make", "Toyota"))} == {1, 3, 5}
+
+    def test_index_on_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            make_table().create_index("color")
+
+    def test_index_and_scan_agree(self):
+        indexed = make_table()
+        indexed.create_index("make")
+        plain = make_table()
+        for make in ("Toyota", "Honda", "Ford", "Kia"):
+            assert {row["id"] for row in indexed.scan(Eq("make", make))} == {
+                row["id"] for row in plain.scan(Eq("make", make))
+            }
+
+
+class TestPropertyBased:
+    @given(
+        prices=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50, unique=True),
+        low=st.integers(min_value=0, max_value=10**6),
+        high=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_range_scan_equals_filter(self, prices, low, high):
+        schema = TableSchema(
+            name="t", columns=[Column("id", DataType.INTEGER), Column("price", DataType.INTEGER)]
+        )
+        table = Table(schema)
+        table.insert_many({"id": index, "price": price} for index, price in enumerate(prices))
+        scanned = {row["id"] for row in table.scan(Range("price", low=low, high=high))}
+        expected = {index for index, price in enumerate(prices) if low <= price <= high}
+        assert scanned == expected

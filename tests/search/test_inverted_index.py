@@ -1,0 +1,118 @@
+"""Tests for the BM25 inverted index."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.search.inverted_index import InvertedIndex
+from repro.util.text import tokenize
+
+
+def build_index() -> InvertedIndex:
+    index = InvertedIndex()
+    documents = {
+        1: "used toyota camry for sale in austin texas",
+        2: "used honda civic excellent condition",
+        3: "toyota prius hybrid low mileage",
+        4: "apartment for rent in austin downtown",
+        5: "government regulation on water quality in texas",
+    }
+    for doc_id, text in documents.items():
+        index.add_document(doc_id, tokenize(text))
+    return index
+
+
+class TestConstruction:
+    def test_document_count_and_membership(self):
+        index = build_index()
+        assert index.document_count() == len(index) == 5
+        assert 3 in index
+        assert 99 not in index
+
+    def test_duplicate_document_rejected(self):
+        index = build_index()
+        with pytest.raises(ValueError):
+            index.add_document(1, ["again"])
+
+    def test_vocabulary_and_average_length(self):
+        index = build_index()
+        assert index.vocabulary_size > 10
+        assert index.average_length() > 0
+
+    def test_empty_index(self):
+        index = InvertedIndex()
+        assert index.average_length() == 0.0
+        assert index.score(["anything"]) == []
+
+
+class TestStatistics:
+    def test_document_frequency(self):
+        index = build_index()
+        assert index.document_frequency("toyota") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_idf_rarer_terms_score_higher(self):
+        index = build_index()
+        assert index.idf("camry") > index.idf("in")
+
+    def test_idf_never_negative(self):
+        index = build_index()
+        for term in ("in", "used", "toyota", "for"):
+            assert index.idf(term) >= 0.0
+
+
+class TestScoring:
+    def test_relevant_document_ranks_first(self):
+        index = build_index()
+        ranked = index.score(tokenize("toyota camry austin"))
+        assert ranked[0][0] == 1
+
+    def test_limit(self):
+        index = build_index()
+        assert len(index.score(tokenize("used toyota"), limit=1)) == 1
+
+    def test_scores_descending(self):
+        index = build_index()
+        scores = [score for _, score in index.score(tokenize("used toyota austin"))]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_match(self):
+        assert build_index().score(tokenize("zzqx")) == []
+
+    def test_deterministic_tie_break(self):
+        index = InvertedIndex()
+        index.add_document(2, ["apple"])
+        index.add_document(1, ["apple"])
+        ranked = index.score(["apple"])
+        assert [doc_id for doc_id, _ in ranked] == [1, 2]
+
+
+class TestMatchingDocuments:
+    def test_any_vs_all(self):
+        index = build_index()
+        any_match = index.matching_documents(tokenize("toyota austin"))
+        all_match = index.matching_documents(tokenize("toyota austin"), require_all=True)
+        assert all_match == {1}
+        assert any_match >= {1, 3, 4}
+
+    def test_empty_query(self):
+        assert build_index().matching_documents([]) == set()
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]), min_size=1, max_size=6),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_scores_are_positive_and_cover_matching_docs(self, documents):
+        index = InvertedIndex()
+        for doc_id, tokens in enumerate(documents):
+            index.add_document(doc_id, tokens)
+        ranked = index.score(["alpha"])
+        expected = {doc_id for doc_id, tokens in enumerate(documents) if "alpha" in tokens}
+        assert {doc_id for doc_id, _ in ranked} == expected
+        assert all(score > 0 for _, score in ranked)

@@ -1,0 +1,136 @@
+"""Tests for statistics helpers (concentration curves, capture-recapture)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    chapman_estimate,
+    cumulative_share,
+    gini,
+    harmonic_number,
+    lincoln_petersen_estimate,
+    share_of_top,
+    wilson_interval,
+)
+
+
+class TestCumulativeShare:
+    def test_simple_case(self):
+        assert cumulative_share([5, 3, 2]) == pytest.approx([0.5, 0.8, 1.0])
+
+    def test_sorts_descending_first(self):
+        assert cumulative_share([2, 5, 3]) == pytest.approx([0.5, 0.8, 1.0])
+
+    def test_empty(self):
+        assert cumulative_share([]) == []
+
+    def test_all_zero(self):
+        assert cumulative_share([0, 0]) == [0.0, 0.0]
+
+    def test_share_of_top(self):
+        assert share_of_top([10, 5, 5], 1) == 0.5
+        assert share_of_top([10, 5, 5], 10) == 1.0
+        assert share_of_top([10, 5, 5], 0) == 0.0
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentration_is_higher(self):
+        assert gini([100, 1, 1, 1]) > gini([30, 28, 25, 20])
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+
+class TestCaptureRecapture:
+    def test_lincoln_petersen_exact(self):
+        estimate = lincoln_petersen_estimate(50, 40, 20)
+        assert estimate.estimate == pytest.approx(100.0)
+
+    def test_lincoln_petersen_requires_recaptures(self):
+        with pytest.raises(ValueError):
+            lincoln_petersen_estimate(10, 10, 0)
+
+    def test_chapman_close_to_lincoln_petersen(self):
+        chapman = chapman_estimate(50, 40, 20)
+        lincoln = lincoln_petersen_estimate(50, 40, 20)
+        assert chapman.estimate == pytest.approx(lincoln.estimate, rel=0.05)
+
+    def test_chapman_handles_zero_recaptures(self):
+        estimate = chapman_estimate(10, 10, 0)
+        assert estimate.estimate == pytest.approx(120.0)
+
+    def test_chapman_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chapman_estimate(5, 5, 6)
+        with pytest.raises(ValueError):
+            chapman_estimate(-1, 5, 0)
+
+    def test_coverage_of(self):
+        estimate = chapman_estimate(50, 40, 20)
+        assert 0.0 < estimate.coverage_of(60) <= 1.0
+        assert estimate.coverage_of(10**9) == 1.0
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+
+    def test_zero_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_extreme_successes(self):
+        low, high = wilson_interval(100, 100)
+        assert high == pytest.approx(1.0)
+        assert low > 0.9
+
+    def test_invalid_successes(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_narrower_with_more_trials(self):
+        low_small, high_small = wilson_interval(5, 10)
+        low_big, high_big = wilson_interval(500, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+
+class TestHarmonicNumber:
+    def test_first_values(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+
+    def test_generalized(self):
+        assert harmonic_number(3, exponent=2.0) == pytest.approx(1 + 0.25 + 1 / 9)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40))
+    def test_cumulative_share_monotone_and_bounded(self, values):
+        shares = cumulative_share(values)
+        assert all(0.0 <= share <= 1.0 + 1e-9 for share in shares)
+        assert all(earlier <= later + 1e-9 for earlier, later in zip(shares, shares[1:]))
+
+    @given(
+        n1=st.integers(min_value=1, max_value=500),
+        n2=st.integers(min_value=1, max_value=500),
+        data=st.data(),
+    )
+    def test_chapman_estimate_at_least_observed(self, n1, n2, data):
+        m = data.draw(st.integers(min_value=0, max_value=min(n1, n2)))
+        estimate = chapman_estimate(n1, n2, m)
+        # The estimated population can never be smaller than what both samples
+        # jointly observed.
+        observed_union = n1 + n2 - m
+        assert estimate.estimate >= observed_union - 1
+
+    @given(trials=st.integers(min_value=1, max_value=1000), data=st.data())
+    def test_wilson_interval_ordered_and_bounded(self, trials, data):
+        successes = data.draw(st.integers(min_value=0, max_value=trials))
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0

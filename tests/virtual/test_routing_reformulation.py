@@ -1,0 +1,94 @@
+"""Tests for query routing and keyword reformulation."""
+
+from __future__ import annotations
+
+from repro.core.form_model import discover_forms
+from repro.virtual.matching import SchemaMatcher
+from repro.virtual.reformulation import Reformulator
+from repro.virtual.routing import RoutedSource, Router
+from repro.webspace.web import Web
+
+
+def routed_source(site, web) -> RoutedSource:
+    form = discover_forms(web.fetch(site.homepage_url()))[0]
+    mapping = SchemaMatcher().classify_domain(form)
+    return RoutedSource(
+        host=site.host, domain=mapping.domain, mapping=mapping, description=site.description
+    )
+
+
+class TestRouter:
+    def _router(self, car_site, gov_site) -> Router:
+        web = Web()
+        web.register_all([car_site, gov_site])
+        router = Router()
+        router.register(routed_source(car_site, web))
+        router.register(routed_source(gov_site, web))
+        return router
+
+    def test_car_query_routes_to_car_site(self, car_site, gov_site):
+        router = self._router(car_site, gov_site)
+        decision = router.route("used toyota camry")
+        assert decision.selected_hosts(1) == [car_site.host]
+
+    def test_government_query_routes_to_gov_site(self, car_site, gov_site):
+        router = self._router(car_site, gov_site)
+        decision = router.route("water quality regulation survey")
+        assert decision.selected_hosts(1) == [gov_site.host]
+
+    def test_unrelated_query_routes_nowhere(self, car_site, gov_site):
+        router = self._router(car_site, gov_site)
+        decision = router.route("quantum chromodynamics lecture notes")
+        assert decision.selected_hosts(5) == []
+
+    def test_fortuitous_query_is_missed_by_routing(self, car_site, gov_site):
+        """The router only sees schema and select-option vocabulary, not page content, so a
+        content-specific query with no domain words is not routed -- the
+        failure mode the paper contrasts with surfacing."""
+        router = self._router(car_site, gov_site)
+        record = car_site.database.table("listings").get(1)
+        # Query by a content detail (the mileage figure) with no car words.
+        decision = router.route(f"{record['mileage']} excellent verified")
+        assert car_site.host not in decision.selected_hosts(5)
+
+    def test_score_is_fraction_of_covered_tokens(self, car_site, gov_site):
+        router = self._router(car_site, gov_site)
+        source = router.source(car_site.host)
+        assert router.score("toyota", source) == 1.0
+        assert 0.0 < router.score("toyota spaceship", source) < 1.0
+        assert router.score("", source) == 0.0
+
+
+class TestReformulator:
+    def test_select_values_bound_to_selects(self, car_form):
+        mapping = SchemaMatcher().classify_domain(car_form)
+        reformulation = Reformulator().reformulate("red toyota sedan", mapping)
+        assert reformulation.bindings.get("make") == "Toyota"
+        assert reformulation.bindings.get("color") == "red"
+        assert reformulation.bindings.get("body_style") == "sedan"
+
+    def test_year_number_bound_to_year_input(self, car_form):
+        mapping = SchemaMatcher().classify_domain(car_form)
+        reformulation = Reformulator().reformulate("toyota 2003", mapping)
+        year_bindings = [name for name in reformulation.bindings if "year" in name]
+        assert year_bindings, f"bindings: {reformulation.bindings}"
+
+    def test_leftover_tokens_go_to_search_box(self, car_form):
+        mapping = SchemaMatcher().classify_domain(car_form)
+        reformulation = Reformulator().reformulate("toyota excellent condition", mapping)
+        search_values = [
+            value for name, value in reformulation.bindings.items() if "excellent" in value
+        ]
+        assert search_values, "unmatched tokens should be sent to the search box"
+
+    def test_leftovers_can_be_dropped(self, car_form):
+        mapping = SchemaMatcher().classify_domain(car_form)
+        reformulation = Reformulator(bind_leftovers_to_search_box=False).reformulate(
+            "toyota excellent condition", mapping
+        )
+        assert all("excellent" not in value for value in reformulation.bindings.values())
+        assert "excellent" in reformulation.unbound_tokens
+
+    def test_empty_query(self, car_form):
+        mapping = SchemaMatcher().classify_domain(car_form)
+        assert Reformulator().reformulate("", mapping).is_empty

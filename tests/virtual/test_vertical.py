@@ -1,0 +1,117 @@
+"""Tests for the vertical search engine (virtual integration end-to-end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extraction import extract_result_records
+from repro.datagen.domains import domain
+from repro.search.engine import SearchEngine
+from repro.util.rng import SeededRng
+from repro.virtual.matching import SchemaMatcher
+from repro.virtual.vertical import VerticalSearchEngine
+from repro.virtual.wrappers import ResultWrapper, matches_filters
+from repro.webspace.loadmeter import AGENT_VIRTUAL
+from repro.webspace.sitegen import build_deep_site
+from repro.webspace.web import Web
+
+
+@pytest.fixture
+def car_vertical():
+    """A two-source used-car vertical."""
+    web = Web()
+    sites = [
+        build_deep_site(domain("used_cars"), f"cars{i}.vertical.test", 50, SeededRng(f"v{i}"))
+        for i in range(2)
+    ]
+    web.register_all(sites)
+    # A books site that must be rejected by the domain-restricted vertical.
+    books = build_deep_site(domain("books"), "books.vertical.test", 30, SeededRng("vb"))
+    web.register(books)
+    engine = VerticalSearchEngine(web, domain="used_cars")
+    accepted = engine.register_sites(web.deep_sites())
+    return web, engine, sites, accepted
+
+
+class TestRegistration:
+    def test_only_domain_sites_accepted(self, car_vertical):
+        _web, engine, sites, accepted = car_vertical
+        assert accepted == len(sites)
+        assert engine.source_count == len(sites)
+
+    def test_post_only_site_rejected(self):
+        web = Web()
+        site = build_deep_site(domain("used_cars"), "post.vertical.test", 20, SeededRng(1), method="post")
+        web.register(site)
+        engine = VerticalSearchEngine(web, domain="used_cars")
+        assert engine.register_site(site) is None
+
+    def test_unrestricted_engine_accepts_all_domains(self):
+        web = Web()
+        cars = build_deep_site(domain("used_cars"), "c.any.test", 20, SeededRng(2))
+        books = build_deep_site(domain("books"), "b.any.test", 20, SeededRng(3))
+        web.register_all([cars, books])
+        engine = VerticalSearchEngine(web)
+        assert engine.register_sites([cars, books]) == 2
+
+
+class TestWrappers:
+    def test_wrapper_normalizes_fields(self, car_vertical):
+        web, engine, sites, _accepted = car_vertical
+        source = engine.sources()[0]
+        template = sites[0].forms[0]
+        make_input = next(spec for spec in template.inputs if spec.column == "make")
+        url = source.form.submission_url({make_input.name: make_input.options[0]})
+        page = web.fetch(url)
+        records = source.wrapper.wrap_page(page.html)
+        assert records
+        assert all(record.get("make") for record in records)
+
+    def test_matches_filters(self):
+        from repro.virtual.wrappers import WrappedRecord
+
+        record = WrappedRecord(host="h", title="t", detail_url="u", attributes={"make": "Toyota", "price": "5000"})
+        assert matches_filters(record, {"make": "toyota"})
+        assert matches_filters(record, {"price": "5000"})
+        assert not matches_filters(record, {"make": "Honda"})
+        assert not matches_filters(record, {"color": "red"})
+
+
+class TestStructuredQueries:
+    def test_structured_query_returns_matching_records(self, car_vertical):
+        _web, engine, sites, _accepted = car_vertical
+        make = sites[0].database.table("listings").get(1)["make"]
+        answer = engine.structured_query({"make": make})
+        assert answer.answered
+        assert all(record.get("make").lower() == make.lower() for record in answer.records)
+        assert len(answer.sources_contacted) == engine.source_count
+
+    def test_structured_query_slices_by_color(self, car_vertical):
+        _web, engine, sites, _accepted = car_vertical
+        answer = engine.structured_query({"color": "red"})
+        assert all(record.get("color") == "red" for record in answer.records)
+
+
+class TestKeywordQueries:
+    def test_keyword_query_answers_domain_query(self, car_vertical):
+        _web, engine, sites, _accepted = car_vertical
+        record = sites[0].database.table("listings").get(1)
+        answer = engine.keyword_query(f"used {record['make']} {record['model']}")
+        assert answer.routing is not None
+        assert answer.sources_contacted
+        assert answer.answered
+        titles = " ".join(record_.title.lower() for record_ in answer.records)
+        assert record["make"].lower() in titles
+
+    def test_query_time_load_is_metered(self, car_vertical):
+        web, engine, sites, _accepted = car_vertical
+        before = web.load_meter.total(agent=AGENT_VIRTUAL)
+        engine.keyword_query("used toyota")
+        after = web.load_meter.total(agent=AGENT_VIRTUAL)
+        assert after > before, "virtual integration fetches sites at query time"
+
+    def test_off_domain_query_is_not_answered(self, car_vertical):
+        _web, engine, _sites, _accepted = car_vertical
+        answer = engine.keyword_query("moroccan chickpea stew recipe")
+        assert not answer.answered
+        assert answer.fetches_issued == 0

@@ -1,0 +1,118 @@
+"""Tests for whole-web generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.domains import domain, domain_names
+from repro.htmlparse import extract_forms
+from repro.util.rng import SeededRng
+from repro.webspace.sitegen import (
+    WebConfig,
+    build_deep_site,
+    build_form,
+    build_database,
+    generate_deep_sites,
+    generate_web,
+)
+
+
+class TestBuildDatabase:
+    def test_database_has_requested_rows(self):
+        database = build_database(domain("books"), 35, SeededRng(1))
+        assert database.total_rows() == 35
+
+    def test_select_columns_are_indexed(self):
+        database = build_database(domain("used_cars"), 20, SeededRng(1))
+        # Index presence is observable through correct equality answers.
+        table = database.table("listings")
+        make = table.distinct_values("make")[0]
+        from repro.relational.predicate import Eq
+
+        assert all(row["make"] == make for row in table.scan(Eq("make", make)))
+
+
+class TestBuildForm:
+    def test_form_covers_domain_inputs(self):
+        spec = domain("used_cars")
+        database = build_database(spec, 40, SeededRng(2))
+        form = build_form(spec, database, SeededRng(3))
+        roles = {input_spec.role for input_spec in form.inputs}
+        assert {"search_box", "select", "typed_text", "range_min", "range_max"} <= roles
+
+    def test_range_inputs_share_options(self):
+        spec = domain("used_cars")
+        database = build_database(spec, 40, SeededRng(2))
+        form = build_form(spec, database, SeededRng(3), range_value_count=10)
+        price_inputs = [spec_ for spec_ in form.inputs if spec_.column == "price"]
+        assert len(price_inputs) == 2
+        assert price_inputs[0].options == price_inputs[1].options
+        assert 2 <= len(price_inputs[0].options) <= 10
+
+    def test_select_options_come_from_data(self):
+        spec = domain("books")
+        database = build_database(spec, 40, SeededRng(4))
+        form = build_form(spec, database, SeededRng(5))
+        genre_input = next(spec_ for spec_ in form.inputs if spec_.column == "genre")
+        table_values = {str(value) for value in database.table("books").distinct_values("genre")}
+        assert set(genre_input.options) == table_values
+
+    def test_form_renders_and_parses_back(self):
+        site = build_deep_site(domain("jobs"), "jobs.gen.test", 25, SeededRng(6))
+        page = site.handle(site.homepage_url())
+        parsed = extract_forms(page.html)[0]
+        rendered_names = {spec.name for spec in parsed.inputs if spec.is_bindable}
+        template_names = {spec.name for spec in site.forms[0].inputs}
+        assert rendered_names == template_names
+
+
+class TestGenerateWeb:
+    def test_site_count_matches_config(self):
+        config = WebConfig(total_deep_sites=9, surface_site_count=2, seed=1)
+        web = generate_web(config)
+        assert len(web.deep_sites()) == 9
+        assert len(web.surface_sites()) == 2
+
+    def test_generation_is_deterministic(self):
+        config = WebConfig(total_deep_sites=6, surface_site_count=1, seed=12)
+        first = generate_web(config)
+        second = generate_web(config)
+        assert [site.host for site in first.sites()] == [site.host for site in second.sites()]
+        assert first.total_deep_records() == second.total_deep_records()
+
+    def test_sizes_respect_bounds(self):
+        config = WebConfig(total_deep_sites=15, min_records=30, max_records=100, seed=3)
+        sites = generate_deep_sites(config, SeededRng(3))
+        assert all(30 <= site.size() <= 100 for site in sites)
+
+    def test_post_form_fraction_zero_and_one(self):
+        none_post = generate_deep_sites(
+            WebConfig(total_deep_sites=8, post_form_fraction=0.0, seed=4), SeededRng(4)
+        )
+        assert all(site.forms[0].method == "get" for site in none_post)
+        all_post = generate_deep_sites(
+            WebConfig(total_deep_sites=8, post_form_fraction=1.0, seed=4), SeededRng(4)
+        )
+        assert all(site.forms[0].method == "post" for site in all_post)
+
+    def test_domain_restriction(self):
+        config = WebConfig(total_deep_sites=6, domains=("government",), seed=5)
+        sites = generate_deep_sites(config, SeededRng(5))
+        assert {site.domain_name for site in sites} == {"government"}
+
+    def test_unique_hosts(self):
+        web = generate_web(WebConfig(total_deep_sites=20, seed=6))
+        hosts = [site.host for site in web.sites()]
+        assert len(hosts) == len(set(hosts))
+
+    def test_effective_weights_cover_all_domains(self):
+        config = WebConfig()
+        assert len(config.effective_weights()) == len(domain_names())
+
+    def test_unknown_scale_domains_still_build(self):
+        # A config listing a subset of domains with explicit weights.
+        config = WebConfig(
+            total_deep_sites=4, domains=("books", "jobs"), domain_weights=(1.0, 3.0), seed=8
+        )
+        sites = generate_deep_sites(config, SeededRng(8))
+        assert {site.domain_name for site in sites} <= {"books", "jobs"}

@@ -1,0 +1,105 @@
+"""Tests for surface sites, the Web registry and fetch metering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htmlparse import extract_links, extract_text
+from repro.util.rng import SeededRng
+from repro.webspace.loadmeter import AGENT_SURFACER, AGENT_USER
+from repro.webspace.surface_site import SurfaceSite, SurfaceTopic
+from repro.webspace.url import Url
+from repro.webspace.web import Web
+
+
+@pytest.fixture
+def portal() -> SurfaceSite:
+    topics = [
+        SurfaceTopic(slug="ava-sterling", name="Ava Sterling", page_count=4),
+        SurfaceTopic(slug="gaming-console-x", name="gaming console x", page_count=3),
+    ]
+    return SurfaceSite(host="portal.test", title="Test Portal", topics=topics, rng=SeededRng(1))
+
+
+class TestSurfaceSite:
+    def test_homepage_links_to_topics(self, portal):
+        page = portal.handle(portal.homepage_url())
+        links = extract_links(page.html, portal.homepage_url())
+        assert any("ava-sterling" in link for link in links)
+
+    def test_topic_index_links_to_all_pages(self, portal):
+        topic = portal.topics[0]
+        page = portal.handle(portal.topic_url(topic))
+        links = extract_links(page.html, portal.topic_url(topic))
+        assert sum("/ava-sterling/" in link for link in links) == topic.page_count
+
+    def test_topic_page_mentions_topic(self, portal):
+        page = portal.handle(portal.topic_url(portal.topics[0], 2))
+        assert "Ava Sterling" in extract_text(page.html)
+
+    def test_unknown_topic_is_404(self, portal):
+        assert portal.handle(Url.build("portal.test", "/nobody", {})).status == 404
+
+    def test_out_of_range_page_is_404(self, portal):
+        assert portal.handle(portal.topic_url(portal.topics[0], 99)).status == 404
+
+    def test_non_numeric_page_is_404(self, portal):
+        assert portal.handle(Url.build("portal.test", "/ava-sterling/abc", {})).status == 404
+
+    def test_size_counts_pages(self, portal):
+        assert portal.size() == (4 + 1) + (3 + 1)
+
+    def test_pages_are_deterministic(self, portal):
+        first = portal.handle(portal.topic_url(portal.topics[0], 1)).html
+        second = portal.handle(portal.topic_url(portal.topics[0], 1)).html
+        assert first == second
+
+
+class TestWeb:
+    def test_register_and_fetch(self, car_site, portal):
+        web = Web()
+        web.register_all([car_site, portal])
+        assert len(web) == 2
+        assert car_site.host in web
+        page = web.fetch(car_site.homepage_url())
+        assert page.ok
+
+    def test_duplicate_host_rejected(self, car_site):
+        web = Web()
+        web.register(car_site)
+        with pytest.raises(ValueError):
+            web.register(car_site)
+
+    def test_fetch_unknown_host_is_404(self):
+        web = Web()
+        assert web.fetch("http://ghost.example.com/").status == 404
+
+    def test_fetch_accepts_strings(self, car_site):
+        web = Web()
+        web.register(car_site)
+        assert web.fetch(f"http://{car_site.host}/").ok
+
+    def test_fetch_meters_load_by_agent(self, car_site):
+        web = Web()
+        web.register(car_site)
+        web.fetch(car_site.homepage_url(), agent=AGENT_SURFACER)
+        web.fetch(car_site.homepage_url(), agent=AGENT_SURFACER)
+        web.fetch(car_site.homepage_url(), agent=AGENT_USER)
+        assert web.load_meter.total(host=car_site.host, agent=AGENT_SURFACER) == 2
+        assert web.load_meter.total(host=car_site.host) == 3
+
+    def test_site_partitioning(self, car_site, portal):
+        web = Web()
+        web.register_all([car_site, portal])
+        assert [site.host for site in web.deep_sites()] == [car_site.host]
+        assert [site.host for site in web.surface_sites()] == [portal.host]
+
+    def test_homepage_urls_and_total_records(self, car_site, portal):
+        web = Web()
+        web.register_all([car_site, portal])
+        assert len(web.homepage_urls()) == 2
+        assert web.total_deep_records() == car_site.size()
+
+    def test_unknown_site_lookup(self):
+        with pytest.raises(KeyError):
+            Web().site("missing.host")

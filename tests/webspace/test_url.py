@@ -1,0 +1,87 @@
+"""Tests for the URL model."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.webspace.url import Url
+
+
+class TestConstruction:
+    def test_build_with_params(self):
+        url = Url.build("example.com", "/search", {"make": "Toyota", "price": 5000})
+        assert url.host == "example.com"
+        assert url.param("make") == "Toyota"
+        assert url.param("price") == "5000"
+
+    def test_path_gets_leading_slash(self):
+        assert Url(host="a.com", path="search").path == "/search"
+
+    def test_params_are_sorted(self):
+        url = Url.build("a.com", "/s", {"b": 1, "a": 2})
+        assert [key for key, _ in url.params] == ["a", "b"]
+
+    def test_identical_bindings_render_identically(self):
+        first = Url.build("a.com", "/s", {"x": "1", "y": "2"})
+        second = Url.build("a.com", "/s", {"y": "2", "x": "1"})
+        assert str(first) == str(second)
+        assert first == second
+
+
+class TestParsing:
+    def test_round_trip(self):
+        original = Url.build("cars.example.com", "/find", {"q": "red car", "zip": "02139"})
+        parsed = Url.parse(str(original))
+        assert parsed == original
+
+    def test_parse_without_scheme(self):
+        url = Url.parse("example.com/path?x=1")
+        assert url.host == "example.com"
+        assert url.path == "/path"
+        assert url.param("x") == "1"
+
+    def test_parse_no_path(self):
+        assert Url.parse("http://example.com").path == "/"
+
+    def test_parse_keeps_blank_values(self):
+        assert Url.parse("http://a.com/s?q=").param("q") == ""
+
+    def test_special_characters_round_trip(self):
+        url = Url.build("a.com", "/s", {"q": "new york & co"})
+        assert Url.parse(str(url)).param("q") == "new york & co"
+
+
+class TestManipulation:
+    def test_with_params_adds_and_overrides(self):
+        url = Url.build("a.com", "/s", {"page": 1, "q": "x"})
+        updated = url.with_params(page=2, sort="price")
+        assert updated.param("page") == "2"
+        assert updated.param("sort") == "price"
+        assert updated.param("q") == "x"
+        assert url.param("page") == "1", "original is immutable"
+
+    def test_without_params(self):
+        url = Url.build("a.com", "/s", {"page": 1, "q": "x"})
+        stripped = url.without_params("page")
+        assert stripped.param("page") is None
+        assert stripped.param("q") == "x"
+
+    def test_param_default(self):
+        assert Url.build("a.com", "/").param("missing", "fallback") == "fallback"
+
+    def test_query_string_empty(self):
+        assert Url.build("a.com", "/").query_string() == ""
+        assert str(Url.build("a.com", "/")) == "http://a.com/"
+
+
+class TestProperties:
+    @given(
+        st.dictionaries(
+            keys=st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+            values=st.text(alphabet="abc 0123&=+", min_size=0, max_size=10),
+            max_size=5,
+        )
+    )
+    def test_round_trip_arbitrary_params(self, params):
+        url = Url.build("host.example.com", "/path", params)
+        assert Url.parse(str(url)).param_dict == {key: str(value) for key, value in params.items()}
