@@ -13,7 +13,7 @@ surfacing pipeline on the simulator.
 
 from __future__ import annotations
 
-from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro import SurfacingConfig, SurfacingPipeline
 from repro.datagen.domains import domain
 from repro.search.engine import SearchEngine
 from repro.util.rng import SeededRng
@@ -27,7 +27,7 @@ def _surface(domain_name: str, host: str, records: int, config: SurfacingConfig)
     site = build_deep_site(domain(domain_name), host, records, SeededRng(f"ablate-{host}"))
     web = Web()
     web.register(site)
-    result = Surfacer(web, SearchEngine(), config).surface_site(site)
+    result = SurfacingPipeline(web, SearchEngine(), config).surface_site(site)
     return result, site
 
 
@@ -121,3 +121,54 @@ def test_keyword_budget_ablation(benchmark):
     # hurt and that the pipeline stays near-complete throughout.
     assert coverages[-1] >= coverages[0] - 0.05
     assert min(coverages) > 0.85
+
+
+def test_stage_ablation(benchmark):
+    """Whole-stage ablations through ``SurfacingPipeline.without_stage``.
+
+    Dropping correlation detection leaves min/max inputs uncorrelated, so
+    the informativeness filter discards most of their templates and the
+    site loses coverage; dropping candidate values starves template
+    selection entirely; dropping the indexing stage leaves the index
+    untouched while the rest of the pipeline still runs.
+    """
+
+    def run(ablate: str | None):
+        site = build_deep_site(
+            domain("used_cars"), "cars.stage-ablate", 150, SeededRng("stage-ablate")
+        )
+        web = Web()
+        web.register(site)
+        pipeline = SurfacingPipeline(web, SearchEngine(), SurfacingConfig(max_urls_per_form=400))
+        if ablate is not None:
+            pipeline.without_stage(ablate)
+        return pipeline.surface_site(site), site
+
+    def describe(label, result, site):
+        return (
+            label,
+            f"{result.urls_generated} / {result.urls_indexed}",
+            round(result.records_covered / site.size(), 3),
+        )
+
+    full, site = benchmark.pedantic(run, args=(None,), rounds=1, iterations=1)
+    no_correlations, _ = run("detect-correlations")
+    no_values, _ = run("candidate-values")
+    no_indexing, _ = run("index-pages")
+
+    rows = [
+        describe("full pipeline", full, site),
+        describe("without detect-correlations", no_correlations, site),
+        describe("without candidate-values", no_values, site),
+        describe("without index-pages", no_indexing, site),
+    ]
+    print_table(
+        "Ablation: whole stages (pipeline.without_stage)",
+        rows,
+        header=("configuration", "urls generated / indexed", "coverage"),
+    )
+
+    assert no_correlations.records_covered < full.records_covered
+    assert no_values.urls_generated == 0
+    assert no_indexing.urls_indexed == 0
+    assert no_indexing.urls_generated == full.urls_generated

@@ -12,7 +12,7 @@ probabilistic statement.
 from __future__ import annotations
 
 from repro.core.coverage import CoverageEstimator, coverage_curve
-from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro import SurfacingConfig, SurfacingPipeline
 from repro.datagen.domains import domain
 from repro.search.engine import SearchEngine
 from repro.util.rng import SeededRng
@@ -26,7 +26,7 @@ def test_coverage_and_estimation(benchmark):
     site = build_deep_site(domain("books"), "books.coverage.bench", 250, SeededRng("bench-cov"))
     web = Web()
     web.register(site)
-    surfacer = Surfacer(web, SearchEngine(), SurfacingConfig(max_urls_per_form=400))
+    surfacer = SurfacingPipeline(web, SearchEngine(), SurfacingConfig(max_urls_per_form=400))
 
     result = benchmark.pedantic(surfacer.surface_site, args=(site,), rounds=1, iterations=1)
 
@@ -56,7 +56,7 @@ def test_coverage_grows_with_budget_with_diminishing_returns(benchmark):
     site = build_deep_site(domain("used_cars"), "cars.coverage.bench", 200, SeededRng("bench-cov2"))
     web = Web()
     web.register(site)
-    surfacer = Surfacer(web, SearchEngine(), SurfacingConfig(max_urls_per_form=300))
+    surfacer = SurfacingPipeline(web, SearchEngine(), SurfacingConfig(max_urls_per_form=300))
     result = surfacer.surface_site(site)
     record_sets = result.record_sets
 

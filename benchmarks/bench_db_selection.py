@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.correlations import CorrelationDetector
 from repro.core.form_model import discover_forms
-from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro import SurfacingConfig, SurfacingPipeline
 from repro.datagen.domains import domain
 from repro.search.engine import SearchEngine
 from repro.util.rng import SeededRng
@@ -57,7 +57,7 @@ def test_per_category_keywords_beat_global_keywords(benchmark):
             max_urls_per_form=250,
             max_keywords=10,
         )
-        result = Surfacer(web, SearchEngine(), config).surface_site(site)
+        result = SurfacingPipeline(web, SearchEngine(), config).surface_site(site)
         return result.records_covered / site.size()
 
     aware_coverage = benchmark.pedantic(surface, args=(True,), rounds=1, iterations=1)

@@ -13,7 +13,7 @@ The benchmark compares three surfacing schemes on one site:
 
 from __future__ import annotations
 
-from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro import SurfacingConfig, SurfacingPipeline
 from repro.datagen.domains import domain
 from repro.search.engine import SearchEngine
 from repro.util.rng import SeededRng
@@ -63,7 +63,7 @@ def test_indexability_constrained_scheme_dominates(benchmark):
             max_urls_per_form=400,
             max_template_dimensions=1,
         )
-        return Surfacer(web, SearchEngine(), config).surface_site(site), site
+        return SurfacingPipeline(web, SearchEngine(), config).surface_site(site), site
 
     result_constrained, site_constrained = benchmark.pedantic(constrained, rounds=1, iterations=1)
 
@@ -81,7 +81,7 @@ def test_indexability_constrained_scheme_dominates(benchmark):
         max_urls_per_form=400,
         max_template_dimensions=1,
     )
-    result_broad = Surfacer(web_c, SearchEngine(), config_broad).surface_site(site_c)
+    result_broad = SurfacingPipeline(web_c, SearchEngine(), config_broad).surface_site(site_c)
 
     kept_a, coverage_a, avg_a = _scheme_stats(result_constrained, site_constrained)
     kept_c, coverage_c, avg_c = _scheme_stats(result_broad, site_c)

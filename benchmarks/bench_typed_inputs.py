@@ -14,7 +14,7 @@ import pytest
 from repro.core.form_model import discover_forms
 from repro.core.input_types import COMMON_TYPES, InputTypeClassifier, TYPE_SEARCH
 from repro.core.probe import FormProber
-from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro import SurfacingConfig, SurfacingPipeline
 from repro.datagen.domains import domain
 from repro.htmlparse.forms import ParsedForm, ParsedInput
 from repro.search.engine import SearchEngine
@@ -118,7 +118,7 @@ def test_typed_values_improve_surfacing_coverage(benchmark):
         web = Web()
         web.register(site)
         config = SurfacingConfig(use_typed_values=use_typed, max_urls_per_form=300)
-        result = Surfacer(web, SearchEngine(), config).surface_site(site)
+        result = SurfacingPipeline(web, SearchEngine(), config).surface_site(site)
         return result.records_covered / site.size()
 
     typed_coverage = benchmark.pedantic(surface, args=(True,), rounds=1, iterations=1)

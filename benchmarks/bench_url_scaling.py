@@ -10,7 +10,7 @@ from __future__ import annotations
 import itertools
 
 from repro.core.form_model import discover_forms
-from repro.core.surfacer import Surfacer, SurfacingConfig
+from repro import SurfacingConfig, SurfacingPipeline
 from repro.datagen.domains import domain
 from repro.search.engine import SearchEngine
 from repro.util.rng import SeededRng
@@ -41,7 +41,7 @@ def test_urls_scale_with_database_size(benchmark):
             web = Web()
             web.register(site)
             config = SurfacingConfig(max_urls_per_form=5000, max_values_per_input=30)
-            result = Surfacer(web, SearchEngine(), config).surface_site(site)
+            result = SurfacingPipeline(web, SearchEngine(), config).surface_site(site)
             measurements.append(
                 (size, result.urls_generated, result.urls_indexed, _query_space(web, site))
             )

@@ -12,8 +12,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro import SurfacingConfig
 from repro.analysis.experiments import build_query_log, build_world, surface_world
-from repro.core.surfacer import SurfacingConfig
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the opt-in ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

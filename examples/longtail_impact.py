@@ -11,6 +11,7 @@ Run:  python examples/longtail_impact.py
 
 from __future__ import annotations
 
+from repro import ProgressObserver
 from repro.analysis.experiments import build_query_log, build_world, surface_world
 from repro.analysis.longtail import (
     cumulative_impact_curve,
@@ -24,7 +25,7 @@ from repro.util.zipf import fit_power_law
 def main() -> None:
     print("Building and surfacing a small simulated web ...")
     world = build_world("small")
-    surface_world(world)
+    surface_world(world, observers=[ProgressObserver()])
     log = build_query_log(world)
 
     fit = fit_power_law([frequency for frequency in log.frequencies() if frequency > 0])

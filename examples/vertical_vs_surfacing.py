@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.analysis.experiments import build_world, surface_world
 from repro.search.engine import SOURCE_SURFACED
 from repro.virtual.vertical import VerticalSearchEngine
-from repro.webspace.loadmeter import AGENT_SURFACER, AGENT_VIRTUAL
+from repro.webspace.loadmeter import AGENT_VIRTUAL
 
 
 def main() -> None:
@@ -71,7 +71,9 @@ def main() -> None:
         print("  benchmarks/bench_surfacing_vs_virtual.py measures this gap over many queries.")
 
     # --- Load profile -------------------------------------------------------------
-    surfacer_load = web.load_meter.total(agent=AGENT_SURFACER)
+    # Off-line surfacing load is already on the per-site results; the load
+    # meter gives the query-time load virtual integration keeps paying.
+    surfacer_load = sum(result.analysis_load for result in world.surfacing_results)
     virtual_load = web.load_meter.total(agent=AGENT_VIRTUAL)
     print("\nLoad on form sites:")
     print(f"  surfacing (one-time, off-line, amortizable): {surfacer_load} fetches")

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Opt-in benchmark/experiment regenerations (needs pytest-benchmark).
+# Pass -s to see the printed result tables.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest benchmarks -q -p no:cacheprovider "$@"

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Fast smoke subset: the public API surface (facade, pipeline, config
+# validation) in a few seconds.  Full tier-1 is `scripts/test.sh`.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q -m smoke "$@"

@@ -1,0 +1,5 @@
+#!/usr/bin/env sh
+# Tier-1: the full test suite (benchmarks excluded by pytest.ini testpaths).
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"

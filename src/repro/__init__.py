@@ -1,7 +1,20 @@
 """Reproduction of "Harnessing the Deep Web: Present and Future" (CIDR 2009).
 
+Most users need only the top-level facade:
+
+    from repro import DeepWebService, SurfacingConfig, WebConfig
+
+    service = DeepWebService.build().web(WebConfig(seed=21)).create()
+    service.crawl()
+    service.surface()
+    hits = service.search("some deep-web content")
+
 The package implements, over a fully simulated web:
 
+* ``repro.api`` -- the :class:`DeepWebService` facade (build / crawl /
+  surface / search / report) with batched scheduling.
+* ``repro.pipeline`` -- the staged surfacing pipeline: seven pluggable
+  stages, a shared context, and observer hooks for metrics and progress.
 * ``repro.relational`` -- the in-memory relational engine backing every
   deep-web site.
 * ``repro.datagen`` -- seeded synthetic data for ~10 content domains.
@@ -10,16 +23,73 @@ The package implements, over a fully simulated web:
 * ``repro.htmlparse`` -- DOM construction and form/link/table extraction.
 * ``repro.search`` -- an inverted-index (BM25) search engine, a crawler and
   a power-law query-log generator.
-* ``repro.core`` -- the paper's contribution: the surfacing pipeline
-  (typed-input recognition, iterative probing, informative query templates,
-  correlated inputs, URL generation with an indexability criterion,
-  coverage estimation, annotation and extraction of surfaced pages).
+* ``repro.core`` -- the paper's contribution: surfacing configuration and
+  results, plus typed-input recognition, iterative probing, informative
+  query templates, correlated inputs, URL generation with an indexability
+  criterion, coverage estimation, annotation and extraction.
 * ``repro.virtual`` -- the virtual-integration baseline (mediated schemas,
   form matching, routing, reformulation, wrappers, vertical search).
 * ``repro.webtables`` -- the WebTables-style corpus and semantic services.
 * ``repro.analysis`` -- long-tail impact analysis and experiment harnesses.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["__version__"]
+from repro.api import (
+    DeepWebService,
+    DeepWebServiceBuilder,
+    ServiceReport,
+    SiteReportRow,
+    SurfacingScheduler,
+)
+from repro.core.surfacer import (
+    FormSurfacingResult,
+    SiteSurfacingResult,
+    Surfacer,
+    SurfacingConfig,
+    SurfacingConfigError,
+)
+from repro.pipeline import (
+    MetricsObserver,
+    PipelineContext,
+    PipelineObserver,
+    ProgressObserver,
+    Stage,
+    SurfacingPipeline,
+    default_stages,
+)
+from repro.search.crawler import Crawler
+from repro.search.engine import SOURCE_SURFACED, SearchEngine
+from repro.webspace.sitegen import WebConfig, generate_web
+from repro.webspace.web import Web
+
+__all__ = [
+    "__version__",
+    # facade
+    "DeepWebService",
+    "DeepWebServiceBuilder",
+    "ServiceReport",
+    "SiteReportRow",
+    "SurfacingScheduler",
+    # surfacing pipeline
+    "SurfacingPipeline",
+    "Stage",
+    "default_stages",
+    "PipelineContext",
+    "PipelineObserver",
+    "MetricsObserver",
+    "ProgressObserver",
+    # legacy surfacer surface
+    "Surfacer",
+    "SurfacingConfig",
+    "SurfacingConfigError",
+    "SiteSurfacingResult",
+    "FormSurfacingResult",
+    # world building and search
+    "Web",
+    "WebConfig",
+    "generate_web",
+    "SearchEngine",
+    "SOURCE_SURFACED",
+    "Crawler",
+]

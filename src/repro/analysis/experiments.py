@@ -4,19 +4,24 @@ Benchmarks, examples and integration tests all need the same setup: generate
 a web, crawl it, surface it, build a query log.  ``build_world`` and
 ``surface_world`` provide that once, with named scales so the expensive
 pieces stay proportionate to where they are used (unit tests vs. benchmark
-runs).
+runs).  Everything runs through the :class:`repro.api.DeepWebService`
+facade, so worlds carry the service (scheduler, pipeline, stage metrics)
+alongside the raw web and engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.core.surfacer import SiteSurfacingResult, Surfacer, SurfacingConfig
-from repro.search.crawler import CrawlStats, Crawler
+from repro.api import DeepWebService
+from repro.core.surfacer import SiteSurfacingResult, SurfacingConfig
+from repro.pipeline.observer import PipelineObserver
+from repro.search.crawler import CrawlStats
 from repro.search.engine import SearchEngine
 from repro.search.querylog import QueryLog, QueryLogConfig, QueryLogGenerator
 from repro.util.rng import SeededRng
-from repro.webspace.sitegen import WebConfig, generate_web
+from repro.webspace.sitegen import WebConfig
 from repro.webspace.web import Web
 
 #: Named experiment scales: (web config, crawl budget, query volume).
@@ -51,6 +56,7 @@ class ExperimentWorld:
     scale: str
     web: Web
     engine: SearchEngine
+    service: DeepWebService | None = None
     crawl_stats: CrawlStats | None = None
     surfacing_results: list[SiteSurfacingResult] = field(default_factory=list)
     query_log: QueryLog | None = None
@@ -76,22 +82,38 @@ def build_world(
         raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
     settings = SCALES[scale]
     config = web_config or settings["web"]
-    web = generate_web(config)
-    engine = SearchEngine()
-    world = ExperimentWorld(scale=scale, web=web, engine=engine)
+    service = DeepWebService.build().web(config).create()
+    world = ExperimentWorld(
+        scale=scale, web=service.web, engine=service.engine, service=service
+    )
     if crawl:
-        crawler = Crawler(web, engine)
-        world.crawl_stats = crawler.crawl(max_pages=int(settings["crawl_pages"]))
+        world.crawl_stats = service.crawl(max_pages=int(settings["crawl_pages"]))
     return world
 
 
 def surface_world(
     world: ExperimentWorld,
     surfacing_config: SurfacingConfig | None = None,
+    observers: Sequence[PipelineObserver] = (),
 ) -> list[SiteSurfacingResult]:
-    """Run the surfacing pipeline over every deep-web site of a world."""
-    surfacer = Surfacer(world.web, world.engine, surfacing_config or SurfacingConfig())
-    world.surfacing_results = surfacer.surface_web()
+    """Run the surfacing pipeline over every deep-web site of a world.
+
+    A fresh, freshly-seeded service is built per call (matching the old
+    one-``Surfacer``-per-run behaviour) and attached to the world so
+    callers can reach the scheduler, pipeline and stage metrics afterwards.
+    """
+    builder = (
+        DeepWebService.build()
+        .web(world.web)
+        .engine(world.engine)
+        .surfacing(surfacing_config or SurfacingConfig())
+    )
+    for observer in observers:
+        builder = builder.observer(observer)
+    service = builder.create()
+    service.crawl_stats = world.crawl_stats
+    world.service = service
+    world.surfacing_results = service.surface()
     return world.surfacing_results
 
 

@@ -1,0 +1,322 @@
+"""The unified service facade over the deep-web reproduction.
+
+:class:`DeepWebService` wraps web generation, the baseline crawl, the
+staged surfacing pipeline and the search index behind one object with a
+fluent builder:
+
+    from repro.api import DeepWebService, SurfacingConfig, WebConfig
+
+    service = (
+        DeepWebService.build()
+        .web(WebConfig(total_deep_sites=8, seed=21))
+        .surfacing(SurfacingConfig(max_urls_per_form=200))
+        .create()
+    )
+    service.crawl(max_pages=500)
+    results = service.surface()
+    hits = service.search("red toyota camry")
+    print(service.report())
+
+All site surfacing -- ``surface()`` and ``surface_many()`` -- is batched
+through a single :class:`SurfacingScheduler` seam, which is where sharding
+or async execution will plug in later; today it runs batches serially
+while keeping global progress indices intact for observers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Sequence
+
+from repro.core.surfacer import SiteSurfacingResult, SurfacingConfig
+from repro.pipeline.observer import MetricsObserver, PipelineObserver, ProgressObserver
+from repro.pipeline.pipeline import SurfacingPipeline
+from repro.pipeline.stages import Stage
+from repro.search.crawler import CrawlStats, Crawler
+from repro.search.engine import SearchEngine, SearchResult
+from repro.webspace.site import DeepWebSite
+from repro.webspace.sitegen import WebConfig, generate_web
+from repro.webspace.web import Web
+
+
+class SurfacingScheduler:
+    """Serial batch scheduler for site surfacing.
+
+    The scheduler is deliberately the only place that decides *how* a set
+    of sites flows through a pipeline; replacing it (sharded, async,
+    multi-process) must not touch the pipeline or the facade.
+    """
+
+    def __init__(self, batch_size: int = 8) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = batch_size
+
+    def batches(self, sites: Sequence[DeepWebSite]) -> Iterable[list[DeepWebSite]]:
+        for start in range(0, len(sites), self.batch_size):
+            yield list(sites[start : start + self.batch_size])
+
+    def run(
+        self,
+        pipeline: SurfacingPipeline,
+        sites: Iterable[DeepWebSite],
+        start_index: int = 0,
+        total: int | None = None,
+    ) -> list[SiteSurfacingResult]:
+        """Surface the sites batch by batch.
+
+        ``start_index``/``total`` keep observer progress global when the
+        caller is itself accumulating across several ``run`` calls.
+        """
+        targets = list(sites)
+        total = total if total is not None else start_index + len(targets)
+        results: list[SiteSurfacingResult] = []
+        for batch in self.batches(targets):
+            results.extend(
+                pipeline.surface_many(
+                    batch, start_index=start_index + len(results), total=total
+                )
+            )
+        return results
+
+
+@dataclass
+class SiteReportRow:
+    """One line of the per-site report table."""
+
+    host: str
+    domain: str
+    forms_surfaced: int
+    urls_indexed: int
+    records_covered: int
+    coverage: float | None
+    analysis_load: int
+    elapsed_seconds: float
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of everything the service has done so far."""
+
+    sites_total: int
+    sites_surfaced: int
+    forms_found: int
+    forms_surfaced: int
+    post_forms_skipped: int
+    urls_generated: int
+    urls_indexed: int
+    records_covered: int
+    probes_issued: int
+    analysis_load: int
+    elapsed_seconds: float
+    index_by_source: dict[str, int] = field(default_factory=dict)
+    crawl: CrawlStats | None = None
+    sites: list[SiteReportRow] = field(default_factory=list)
+    stage_metrics: dict[str, object] = field(default_factory=dict)
+
+    def lines(self) -> list[str]:
+        """A deterministic, human-readable rendering (no wall-clock)."""
+        out = [
+            f"sites surfaced: {self.sites_surfaced}/{self.sites_total} "
+            f"(forms {self.forms_surfaced}/{self.forms_found}, "
+            f"{self.post_forms_skipped} POST forms skipped)",
+            f"urls: {self.urls_indexed} indexed of {self.urls_generated} generated",
+            f"records exposed: {self.records_covered}",
+            f"off-line load: {self.analysis_load} fetches, {self.probes_issued} probes",
+        ]
+        if self.crawl is not None:
+            out.append(f"baseline crawl: {self.crawl.fetched} fetched, {self.crawl.indexed} indexed")
+        if self.index_by_source:
+            by_source = ", ".join(
+                f"{source}={count}" for source, count in sorted(self.index_by_source.items())
+            )
+            out.append(f"index by source: {by_source}")
+        for row in self.sites:
+            coverage = f"{row.coverage:.0%}" if row.coverage is not None else "n/a"
+            out.append(
+                f"  {row.host:<38s} domain={row.domain:<14s} urls={row.urls_indexed:<4d} "
+                f"coverage={coverage} offline_load={row.analysis_load}"
+            )
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+class DeepWebServiceBuilder:
+    """Fluent configuration for :class:`DeepWebService`."""
+
+    def __init__(self) -> None:
+        self._web: Web | None = None
+        self._web_config: WebConfig | None = None
+        self._engine: SearchEngine | None = None
+        self._surfacing: SurfacingConfig | None = None
+        self._stages: Sequence[Stage] | None = None
+        self._observers: list[PipelineObserver] = []
+        self._scheduler: SurfacingScheduler | None = None
+
+    def web(self, web: Web | WebConfig) -> "DeepWebServiceBuilder":
+        """Attach an existing :class:`Web` or a :class:`WebConfig` to generate one."""
+        if isinstance(web, Web):
+            self._web, self._web_config = web, None
+        elif isinstance(web, WebConfig):
+            self._web, self._web_config = None, web
+        else:
+            raise TypeError(f"web() expects a Web or WebConfig, got {type(web).__name__}")
+        return self
+
+    def engine(self, engine: SearchEngine) -> "DeepWebServiceBuilder":
+        self._engine = engine
+        return self
+
+    def surfacing(self, config: SurfacingConfig) -> "DeepWebServiceBuilder":
+        self._surfacing = config
+        return self
+
+    def stages(self, stages: Sequence[Stage]) -> "DeepWebServiceBuilder":
+        """Override the default stage list (ablation studies, custom stages)."""
+        self._stages = list(stages)
+        return self
+
+    def observer(self, observer: PipelineObserver) -> "DeepWebServiceBuilder":
+        self._observers.append(observer)
+        return self
+
+    def progress(self, stream: IO[str] | None = None) -> "DeepWebServiceBuilder":
+        """Attach a deterministic per-site progress printer."""
+        return self.observer(ProgressObserver(stream))
+
+    def scheduler(self, scheduler: SurfacingScheduler) -> "DeepWebServiceBuilder":
+        self._scheduler = scheduler
+        return self
+
+    def create(self) -> "DeepWebService":
+        web = self._web if self._web is not None else generate_web(self._web_config or WebConfig())
+        engine = self._engine if self._engine is not None else SearchEngine()
+        metrics = MetricsObserver()
+        pipeline = SurfacingPipeline(
+            web,
+            engine,
+            self._surfacing,
+            stages=self._stages,
+            observers=[metrics, *self._observers],
+        )
+        return DeepWebService(
+            pipeline=pipeline,
+            scheduler=self._scheduler or SurfacingScheduler(),
+            metrics=metrics,
+        )
+
+
+class DeepWebService:
+    """One object that surfaces, indexes, searches and reports."""
+
+    def __init__(
+        self,
+        pipeline: SurfacingPipeline,
+        scheduler: SurfacingScheduler | None = None,
+        metrics: MetricsObserver | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.scheduler = scheduler or SurfacingScheduler()
+        self.metrics = metrics or MetricsObserver()
+        if self.metrics not in self.pipeline.observers:
+            self.pipeline.add_observer(self.metrics)
+        self.results: list[SiteSurfacingResult] = []
+        self.crawl_stats: CrawlStats | None = None
+
+    @classmethod
+    def build(cls) -> DeepWebServiceBuilder:
+        return DeepWebServiceBuilder()
+
+    # -- convenience accessors ----------------------------------------------
+
+    @property
+    def web(self) -> Web:
+        return self.pipeline.web
+
+    @property
+    def engine(self) -> SearchEngine:
+        return self.pipeline.engine
+
+    @property
+    def config(self) -> SurfacingConfig:
+        return self.pipeline.config
+
+    # -- operations ---------------------------------------------------------
+
+    def crawl(self, max_pages: int = 500) -> CrawlStats:
+        """Run the baseline link-following crawl into the shared index."""
+        self.crawl_stats = Crawler(self.web, self.engine).crawl(max_pages=max_pages)
+        return self.crawl_stats
+
+    def surface(
+        self, sites: Iterable[DeepWebSite] | None = None
+    ) -> list[SiteSurfacingResult]:
+        """Surface every deep-web site (or the supplied subset), replacing
+        previously stored results (and the stage metrics mirroring them)."""
+        targets = list(sites) if sites is not None else self.web.deep_sites()
+        self.results = []
+        self.metrics.reset()
+        self.results = self.scheduler.run(self.pipeline, targets)
+        return self.results
+
+    def surface_many(self, sites: Iterable[DeepWebSite]) -> list[SiteSurfacingResult]:
+        """Surface a batch of sites through the scheduler, accumulating
+        onto previously stored results (progress indices stay global)."""
+        targets = list(sites)
+        batch_results = self.scheduler.run(
+            self.pipeline,
+            targets,
+            start_index=len(self.results),
+            total=len(self.results) + len(targets),
+        )
+        self.results.extend(batch_results)
+        return batch_results
+
+    def surface_site(self, site: DeepWebSite) -> SiteSurfacingResult:
+        """Surface a single site (scheduled as a batch of one)."""
+        return self.surface_many([site])[0]
+
+    def search(self, query: str, k: int = 10) -> list[SearchResult]:
+        """Query the shared index (crawled + surfaced documents)."""
+        return self.engine.search(query, k=k)
+
+    def result_for(self, host: str) -> SiteSurfacingResult | None:
+        for result in self.results:
+            if result.host == host:
+                return result
+        return None
+
+    def report(self) -> ServiceReport:
+        """Summarize everything surfaced and indexed so far."""
+        rows = [
+            SiteReportRow(
+                host=result.host,
+                domain=result.domain,
+                forms_surfaced=result.forms_surfaced,
+                urls_indexed=result.urls_indexed,
+                records_covered=result.records_covered,
+                coverage=result.coverage.true_coverage if result.coverage else None,
+                analysis_load=result.analysis_load,
+                elapsed_seconds=result.elapsed_seconds,
+            )
+            for result in self.results
+        ]
+        return ServiceReport(
+            sites_total=len(self.results),
+            sites_surfaced=sum(1 for result in self.results if result.urls_indexed > 0),
+            forms_found=sum(result.forms_found for result in self.results),
+            forms_surfaced=sum(result.forms_surfaced for result in self.results),
+            post_forms_skipped=sum(result.post_forms_skipped for result in self.results),
+            urls_generated=sum(result.urls_generated for result in self.results),
+            urls_indexed=sum(result.urls_indexed for result in self.results),
+            records_covered=sum(result.records_covered for result in self.results),
+            probes_issued=sum(result.probes_issued for result in self.results),
+            analysis_load=sum(result.analysis_load for result in self.results),
+            elapsed_seconds=sum(result.elapsed_seconds for result in self.results),
+            index_by_source=self.engine.count_by_source(),
+            crawl=self.crawl_stats,
+            sites=rows,
+            stage_metrics=self.metrics.as_dict(),
+        )

@@ -1,56 +1,53 @@
-"""The end-to-end surfacing pipeline.
+"""Surfacing configuration, result objects and the legacy ``Surfacer`` facade.
 
-``Surfacer.surface_site`` runs the whole Section 3.2 / Section 4 pipeline for
-one deep-web site and ``Surfacer.surface_web`` runs it for every deep-web
-site on the simulated web:
+The pipeline itself now lives in :mod:`repro.pipeline`: seven pluggable
+stages (form discovery, input classification, correlation detection,
+candidate values, template selection, URL generation + indexability
+filtering, indexing) composed by
+:class:`~repro.pipeline.pipeline.SurfacingPipeline`.  This module keeps
 
-1. fetch the homepage and discover forms (POST forms are skipped);
-2. classify text inputs into search boxes vs. typed inputs;
-3. detect correlated inputs (range pairs, database selection);
-4. assemble candidate values per input: select-menu options, typed-value
-   libraries, iterative-probing keywords (per selected database when a
-   database-selection pair is present);
-5. search for informative query templates;
-6. enumerate submission URLs (range-aware), filter them with the
-   indexability criterion;
-7. fetch the surviving URLs and insert them into the search index with
-   semantic annotations.
+* :class:`SurfacingConfig` -- the validated tuning knobs;
+* :class:`FormSurfacingResult` / :class:`SiteSurfacingResult` -- the result
+  objects every experiment consumes;
+* :class:`Surfacer` -- a thin backwards-compatible wrapper so the original
+  ``Surfacer(web, engine, config).surface_site(site)`` call shape keeps
+  working and produces output identical to the staged pipeline.
 
-The result objects record everything the experiments need: URL counts,
-records covered, probes issued, per-site load, and coverage reports.
+New code should prefer :class:`repro.api.DeepWebService` (the facade) or
+:class:`repro.pipeline.SurfacingPipeline` (stage-level control).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.annotation import annotation_for_bindings
-from repro.core.correlations import CorrelationDetector, DatabaseSelection, RangePair
-from repro.core.coverage import CoverageEstimator, CoverageReport
-from repro.core.form_model import SurfacingForm, discover_forms
-from repro.core.informativeness import signature_for_page
-from repro.core.input_types import (
-    COMMON_TYPES,
-    InputTypeClassifier,
-    TYPE_SEARCH,
-    TypedValueLibrary,
-)
-from repro.core.keywords import IterativeProber
-from repro.core.probe import FormProber
-from repro.core.templates import QueryTemplate, TemplateSelector
-from repro.core.urlgen import GeneratedUrl, IndexabilityCriterion, UrlGenerationStats, UrlGenerator
-from repro.htmlparse.text import extract_text
-from repro.search.engine import SOURCE_SURFACED, SearchEngine
-from repro.util.rng import SeededRng
-from repro.util.text import tokenize
-from repro.webspace.loadmeter import AGENT_SURFACER
+from repro.core.correlations import DatabaseSelection, RangePair
+from repro.core.coverage import CoverageReport
+from repro.core.templates import QueryTemplate
+from repro.core.urlgen import IndexabilityCriterion, UrlGenerationStats
+from repro.search.engine import SearchEngine
 from repro.webspace.site import DeepWebSite
 from repro.webspace.web import Web
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
+    from repro.core.form_model import SurfacingForm
+    from repro.pipeline.pipeline import SurfacingPipeline
+
+
+class SurfacingConfigError(ValueError):
+    """Raised when a :class:`SurfacingConfig` holds contradictory or
+    out-of-range values."""
 
 
 @dataclass(frozen=True)
 class SurfacingConfig:
-    """Tuning knobs for the surfacing pipeline."""
+    """Tuning knobs for the surfacing pipeline.
+
+    Invalid combinations raise :class:`SurfacingConfigError` at
+    construction time rather than surfacing as silent misbehaviour deep in
+    a run.
+    """
 
     seed: int = 11
     informativeness_threshold: float = 0.2
@@ -70,6 +67,38 @@ class SurfacingConfig:
     db_selection_aware: bool = True
     annotate_pages: bool = True
     index_pages: bool = True
+
+    def __post_init__(self) -> None:
+        problems: list[str] = []
+        if self.min_results_per_page > self.max_results_per_page:
+            problems.append(
+                f"min_results_per_page ({self.min_results_per_page}) exceeds "
+                f"max_results_per_page ({self.max_results_per_page})"
+            )
+        if self.min_results_per_page < 0:
+            problems.append(f"min_results_per_page must be >= 0, got {self.min_results_per_page}")
+        for name in (
+            "max_urls_per_form",
+            "probes_per_template",
+            "max_template_dimensions",
+            "max_templates_per_form",
+            "max_values_per_input",
+            "max_results_per_page",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                problems.append(f"{name} must be positive, got {value}")
+        for name in ("keyword_seed_count", "keyword_rounds", "max_keywords"):
+            value = getattr(self, name)
+            if value < 0:
+                problems.append(f"{name} must be >= 0, got {value}")
+        if not 0.0 <= self.informativeness_threshold <= 1.0:
+            problems.append(
+                "informativeness_threshold must lie in [0, 1], "
+                f"got {self.informativeness_threshold}"
+            )
+        if problems:
+            raise SurfacingConfigError("; ".join(problems))
 
     def criterion(self) -> IndexabilityCriterion:
         return IndexabilityCriterion(
@@ -110,6 +139,7 @@ class SiteSurfacingResult:
     urls_indexed: int = 0
     probes_issued: int = 0
     analysis_load: int = 0
+    elapsed_seconds: float = 0.0
     form_results: list[FormSurfacingResult] = field(default_factory=list)
     coverage: CoverageReport | None = None
 
@@ -130,7 +160,13 @@ class SiteSurfacingResult:
 
 
 class Surfacer:
-    """Runs deep-web surfacing against a simulated web."""
+    """Backwards-compatible facade over :class:`SurfacingPipeline`.
+
+    The original monolithic implementation was decomposed into the staged
+    pipeline; this wrapper preserves the historical constructor and the
+    ``surface_site`` / ``surface_web`` / ``surface_form`` entry points, and
+    produces identical results for a fixed seed.
+    """
 
     def __init__(
         self,
@@ -138,254 +174,56 @@ class Surfacer:
         engine: SearchEngine | None = None,
         config: SurfacingConfig | None = None,
     ) -> None:
-        self.web = web
-        self.engine = engine if engine is not None else SearchEngine()
-        self.config = config or SurfacingConfig()
-        self.rng = SeededRng(self.config.seed)
-        self.prober = FormProber(web)
-        self.classifier = InputTypeClassifier(TypedValueLibrary(self.rng.child("typed")))
-        self.correlations = CorrelationDetector()
-        self.coverage_estimator = CoverageEstimator(self.rng.child("coverage"))
+        from repro.pipeline.pipeline import SurfacingPipeline
 
-    # -- public API ---------------------------------------------------------------
+        self.pipeline: SurfacingPipeline = SurfacingPipeline(web, engine, config)
+
+    # -- shared services (historical attribute surface) ---------------------
+
+    @property
+    def web(self) -> Web:
+        return self.pipeline.web
+
+    @property
+    def engine(self) -> SearchEngine:
+        return self.pipeline.engine
+
+    @property
+    def config(self) -> SurfacingConfig:
+        return self.pipeline.config
+
+    @property
+    def rng(self):
+        return self.pipeline.rng
+
+    @property
+    def prober(self):
+        return self.pipeline.prober
+
+    @property
+    def classifier(self):
+        return self.pipeline.classifier
+
+    @property
+    def correlations(self):
+        return self.pipeline.correlations
+
+    @property
+    def coverage_estimator(self):
+        return self.pipeline.coverage_estimator
+
+    # -- public API ---------------------------------------------------------
 
     def surface_web(self, sites: list[DeepWebSite] | None = None) -> list[SiteSurfacingResult]:
         """Surface every deep-web site (or the supplied subset)."""
-        targets = sites if sites is not None else self.web.deep_sites()
-        return [self.surface_site(site) for site in targets]
+        return self.pipeline.surface_web(sites)
 
     def surface_site(self, site: DeepWebSite) -> SiteSurfacingResult:
         """Run the full pipeline for one site."""
-        load_before = self.web.load_meter.total(host=site.host, agent=AGENT_SURFACER)
-        probes_before = self.prober.probe_count
-        result = SiteSurfacingResult(host=site.host, domain=site.domain_name)
-
-        homepage = self.web.fetch(site.homepage_url(), agent=AGENT_SURFACER)
-        if not homepage.ok:
-            return result
-        forms = discover_forms(homepage, host=site.host)
-        result.forms_found = len(forms)
-        for form in forms:
-            if not form.is_get:
-                result.post_forms_skipped += 1
-                result.form_results.append(
-                    FormSurfacingResult(
-                        form_identity=form.identity,
-                        method=form.method,
-                        skipped=True,
-                        skip_reason="POST forms cannot be surfaced",
-                    )
-                )
-                continue
-            form_result = self.surface_form(site, form, homepage.html)
-            result.form_results.append(form_result)
-            if not form_result.skipped:
-                result.forms_surfaced += 1
-                result.urls_generated += form_result.urls_generated
-                result.urls_indexed += form_result.urls_indexed
-
-        result.probes_issued = self.prober.probe_count - probes_before
-        result.analysis_load = (
-            self.web.load_meter.total(host=site.host, agent=AGENT_SURFACER) - load_before
-        )
-        result.coverage = self.coverage_estimator.report(site, result.record_sets)
-        return result
-
-    # -- per-form pipeline -----------------------------------------------------------
+        return self.pipeline.surface_site(site)
 
     def surface_form(
-        self, site: DeepWebSite, form: SurfacingForm, homepage_html: str
+        self, site: DeepWebSite, form: "SurfacingForm", homepage_html: str
     ) -> FormSurfacingResult:
         """Surface one GET form."""
-        form_result = FormSurfacingResult(form_identity=form.identity, method=form.method)
-        if not form.bindable_inputs:
-            form_result.skipped = True
-            form_result.skip_reason = "no bindable inputs"
-            return form_result
-
-        predictions = self.classifier.classify_form(
-            form, self.prober if self.config.probe_confirm_types else None
-        )
-        form_result.typed_inputs = self.classifier.typed_inputs(predictions)
-
-        range_pairs = self.correlations.detect_ranges(form) if self.config.range_aware else []
-        form_result.range_pairs = range_pairs
-        database_selection = (
-            self.correlations.detect_database_selection(form)
-            if self.config.db_selection_aware
-            else None
-        )
-        form_result.database_selection = database_selection
-
-        value_sets = self._candidate_values(form, predictions, range_pairs, homepage_html, database_selection)
-
-        selector = TemplateSelector(
-            self.prober,
-            informativeness_threshold=self.config.informativeness_threshold,
-            max_dimensions=self.config.max_template_dimensions,
-            probes_per_template=self.config.probes_per_template,
-            max_templates=self.config.max_templates_per_form,
-            rng=self.rng.child(f"templates/{form.identity}"),
-        )
-        evaluations = selector.select_templates(form, value_sets)
-        templates = [evaluation.template for evaluation in evaluations]
-        form_result.templates_selected = templates
-
-        generator = UrlGenerator(
-            criterion=self.config.criterion(),
-            max_values_per_input=self.config.max_values_per_input,
-            max_urls_per_form=self.config.max_urls_per_form,
-            range_aware=self.config.range_aware,
-        )
-        candidates, stats = generator.generate_for_templates(form, templates, value_sets, range_pairs)
-        candidates.extend(self._database_selection_urls(form, database_selection, homepage_html))
-        form_result.urls_generated = len(candidates)
-        kept = generator.filter_indexable(form, candidates, self.prober, stats)
-        form_result.generation_stats = stats
-        form_result.urls_kept = len(kept)
-
-        for candidate in kept:
-            form_result.record_sets.append(candidate.records)
-            if self.config.index_pages:
-                if self._index_url(site, form, candidate):
-                    form_result.urls_indexed += 1
-        return form_result
-
-    # -- candidate values ---------------------------------------------------------------
-
-    def _candidate_values(
-        self,
-        form: SurfacingForm,
-        predictions,
-        range_pairs: list[RangePair],
-        homepage_html: str,
-        database_selection: DatabaseSelection | None,
-    ) -> dict[str, list[str]]:
-        """Candidate value lists per input name."""
-        value_sets: dict[str, list[str]] = {}
-        range_max_inputs = {pair.max_input for pair in range_pairs}
-        db_inputs = set()
-        if database_selection is not None:
-            # The (search box, database selector) pair is handled by the
-            # dedicated per-category keyword generation, not by templates.
-            db_inputs = {database_selection.text_input, database_selection.select_input}
-
-        for spec in form.select_inputs:
-            if spec.name in range_max_inputs or spec.name in db_inputs:
-                continue
-            options = [option for option in spec.options if option][: self.config.max_values_per_input]
-            if options:
-                value_sets[spec.name] = options
-
-        prober_keywords = IterativeProber(
-            self.prober,
-            self.engine,
-            seed_count=self.config.keyword_seed_count,
-            max_rounds=self.config.keyword_rounds,
-            max_keywords=self.config.max_keywords,
-        )
-        for spec in form.text_inputs:
-            if spec.name in db_inputs:
-                continue
-            prediction = predictions.get(spec.name)
-            predicted_type = prediction.predicted_type if prediction else TYPE_SEARCH
-            if self.config.use_typed_values and predicted_type in COMMON_TYPES:
-                values = self.classifier.library.values_for(
-                    predicted_type, self.config.max_values_per_input
-                )
-                if values:
-                    value_sets[spec.name] = values
-            elif predicted_type == TYPE_SEARCH:
-                selection = prober_keywords.select_keywords(form, spec.name, homepage_html)
-                if selection.keywords:
-                    value_sets[spec.name] = selection.keywords
-        return value_sets
-
-    # -- database selection handling ------------------------------------------------------
-
-    def _database_selection_urls(
-        self,
-        form: SurfacingForm,
-        database_selection: DatabaseSelection | None,
-        homepage_html: str,
-    ) -> list[GeneratedUrl]:
-        """Per-category keyword URLs for a detected database-selection pair."""
-        if database_selection is None:
-            return []
-        urls: list[GeneratedUrl] = []
-        template = QueryTemplate((database_selection.text_input, database_selection.select_input))
-        for category in database_selection.categories:
-            keywords = self._keywords_for_category(form, database_selection, category, homepage_html)
-            for keyword in keywords:
-                bindings = {
-                    database_selection.select_input: category,
-                    database_selection.text_input: keyword,
-                }
-                urls.append(
-                    GeneratedUrl(
-                        url=form.submission_url(bindings),
-                        bindings=bindings,
-                        template=template,
-                    )
-                )
-        return urls
-
-    def _keywords_for_category(
-        self,
-        form: SurfacingForm,
-        database_selection: DatabaseSelection,
-        category: str,
-        homepage_html: str,
-        per_category: int | None = None,
-    ) -> list[str]:
-        """Iterative-probing keywords conditioned on one selected database."""
-        per_category = per_category or max(3, self.config.max_keywords // 2)
-        # Seed from the result page of the category-only submission.
-        category_page = self.prober.probe(form, {database_selection.select_input: category})
-        seed_text = extract_text(category_page.page.html) if category_page.ok else homepage_html
-        seeds = [
-            token
-            for token in tokenize(seed_text, drop_stopwords=True)
-            if len(token) > 2 and not token.isdigit()
-        ]
-        seen: set[str] = set()
-        ordered_seeds = [seed for seed in seeds if not (seed in seen or seen.add(seed))]
-        chosen: list[str] = []
-        covered: set[str] = set()
-        for keyword in ordered_seeds[: per_category * 4]:
-            if len(chosen) >= per_category:
-                break
-            result = self.prober.probe(
-                form,
-                {
-                    database_selection.select_input: category,
-                    database_selection.text_input: keyword,
-                },
-            )
-            if not result.has_results:
-                continue
-            gain = len(result.signature.record_ids - covered)
-            if gain == 0:
-                continue
-            chosen.append(keyword)
-            covered |= result.signature.record_ids
-        return chosen
-
-    # -- indexing --------------------------------------------------------------------------
-
-    def _index_url(self, site: DeepWebSite, form: SurfacingForm, candidate: GeneratedUrl) -> bool:
-        """Fetch a kept URL (cached by the prober) and add it to the index."""
-        result = self.prober.probe(form, candidate.bindings)
-        if not result.ok:
-            return False
-        annotations = None
-        if self.config.annotate_pages:
-            annotations = annotation_for_bindings(candidate.bindings, domain=site.domain_name).as_dict
-        doc_id = self.engine.add_page(result.page, source=SOURCE_SURFACED, annotations=annotations)
-        if doc_id is None:
-            return False
-        # Refresh record bookkeeping from the page as indexed (resolving
-        # relative links against the final URL).
-        signature = signature_for_page(result.page.html, result.page.url)
-        candidate.records = signature.record_ids
-        return True
+        return self.pipeline.surface_form(site, form, homepage_html)

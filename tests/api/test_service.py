@@ -1,0 +1,182 @@
+"""Tests for the DeepWebService facade, its builder and the scheduler seam."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import (
+    DeepWebService,
+    SearchEngine,
+    SurfacingConfig,
+    SurfacingPipeline,
+    SurfacingScheduler,
+    Web,
+    WebConfig,
+    generate_web,
+)
+from repro.search.engine import SOURCE_SURFACED
+
+pytestmark = pytest.mark.smoke
+
+SMALL_WEB = WebConfig(total_deep_sites=3, surface_site_count=1, max_records=60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def service():
+    built = (
+        DeepWebService.build()
+        .web(SMALL_WEB)
+        .surfacing(SurfacingConfig(max_urls_per_form=100))
+        .create()
+    )
+    built.crawl(max_pages=100)
+    built.surface()
+    return built
+
+
+class TestBuilder:
+    def test_web_accepts_config_or_instance(self):
+        from_config = DeepWebService.build().web(SMALL_WEB).create()
+        assert len(from_config.web.deep_sites()) == 3
+
+        existing = generate_web(SMALL_WEB)
+        from_instance = DeepWebService.build().web(existing).create()
+        assert from_instance.web is existing
+
+    def test_web_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            DeepWebService.build().web("example.com")
+
+    def test_engine_is_shared_with_pipeline(self):
+        engine = SearchEngine()
+        built = DeepWebService.build().web(SMALL_WEB).engine(engine).create()
+        assert built.engine is engine
+        assert built.pipeline.engine is engine
+
+    def test_stage_override_flows_through(self, car_web):
+        built = (
+            DeepWebService.build()
+            .web(car_web)
+            .stages([stage for stage in SurfacingPipeline(car_web).stages
+                     if stage.name != "index-pages"])
+            .create()
+        )
+        assert "index-pages" not in built.pipeline.stage_names
+
+
+class TestOperations:
+    def test_surface_exposes_deep_content_to_search(self, service):
+        assert service.results
+        assert all(result.urls_indexed > 0 for result in service.results)
+        site = service.web.deep_sites()[0]
+        record = next(iter(site.database.tables())).get(1)
+        query = " ".join(str(record.get(key, "")) for key in ("title", "city") if record.get(key))
+        hits = service.search(query or str(record.get("title", "deep")), k=10)
+        assert any(hit.source == SOURCE_SURFACED for hit in hits)
+
+    def test_result_for_finds_hosts(self, service):
+        host = service.results[0].host
+        assert service.result_for(host) is service.results[0]
+        assert service.result_for("nowhere.example.com") is None
+
+    def test_per_site_timing_is_populated(self, service):
+        assert all(result.elapsed_seconds > 0.0 for result in service.results)
+
+
+class TestReport:
+    def test_report_aggregates_results(self, service):
+        report = service.report()
+        assert report.sites_total == len(service.results)
+        assert report.urls_indexed == sum(result.urls_indexed for result in service.results)
+        assert report.index_by_source.get("surfaced") == report.urls_indexed
+        assert report.crawl is service.crawl_stats
+        assert len(report.sites) == report.sites_total
+
+    def test_report_includes_stage_metrics(self, service):
+        runs = service.report().stage_metrics["stage_runs"]
+        assert runs["discover-forms"] == len(service.results)
+        assert runs["index-pages"] >= 1
+
+    def test_report_renders_deterministic_lines(self, service):
+        text = str(service.report())
+        for result in service.results:
+            assert result.host in text
+        assert "urls:" in text
+
+
+class TestScheduler:
+    def test_batches_preserve_global_progress_indices(self):
+        events: list[tuple[int, int]] = []
+
+        class IndexObserver:
+            def on_site_start(self, site, index, total):
+                events.append((index, total))
+
+            def on_site_end(self, site, result, index, total):
+                pass
+
+            def on_stage_start(self, stage_name, ctx):
+                pass
+
+            def on_stage_end(self, stage_name, ctx, elapsed):
+                pass
+
+        built = (
+            DeepWebService.build()
+            .web(SMALL_WEB)
+            .scheduler(SurfacingScheduler(batch_size=2))
+            .observer(IndexObserver())
+            .create()
+        )
+        built.surface()
+        assert events == [(0, 3), (1, 3), (2, 3)]
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SurfacingScheduler(batch_size=0)
+
+    def test_surface_many_accumulates_and_surface_replaces(self):
+        built = DeepWebService.build().web(SMALL_WEB).create()
+        sites = built.web.deep_sites()
+        built.surface_many(sites[:1])
+        built.surface_many(sites[1:2])
+        assert [result.host for result in built.results] == [site.host for site in sites[:2]]
+        built.surface(sites[:1])
+        assert [result.host for result in built.results] == [sites[0].host]
+
+    def test_accumulating_batches_keep_progress_global(self):
+        stream = io.StringIO()
+        built = DeepWebService.build().web(SMALL_WEB).progress(stream).create()
+        sites = built.web.deep_sites()
+        built.surface_many(sites[:2])
+        built.surface_many(sites[2:])
+        starts = [line for line in stream.getvalue().splitlines() if "surfacing" in line]
+        assert [line.split("]")[0] + "]" for line in starts] == ["[1/2]", "[2/2]", "[3/3]"]
+
+    def test_surface_resets_metrics_with_results(self):
+        built = DeepWebService.build().web(SMALL_WEB).create()
+        built.surface()
+        built.surface()
+        report = built.report()
+        assert report.stage_metrics["stage_runs"]["discover-forms"] == report.sites_total
+        assert report.stage_metrics["urls_indexed"] == report.urls_indexed
+
+    def test_explicit_metrics_observer_is_wired(self):
+        from repro import MetricsObserver, SurfacingPipeline
+
+        web = generate_web(SMALL_WEB)
+        metrics = MetricsObserver()
+        built = DeepWebService(SurfacingPipeline(web), metrics=metrics)
+        built.surface(web.deep_sites()[:1])
+        assert metrics.sites_finished == 1
+
+
+def test_progress_builder_hook_prints(car_site):
+    web = Web()
+    web.register(car_site)
+    stream = io.StringIO()
+    built = DeepWebService.build().web(web).progress(stream).create()
+    built.surface()
+    assert f"[1/1] surfacing {car_site.host} ..." in stream.getvalue()

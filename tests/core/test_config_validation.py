@@ -1,0 +1,69 @@
+"""Validation of SurfacingConfig at construction time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SurfacingConfig, SurfacingConfigError
+
+pytestmark = pytest.mark.smoke
+
+
+def test_defaults_are_valid():
+    SurfacingConfig()
+
+
+def test_error_is_a_value_error():
+    assert issubclass(SurfacingConfigError, ValueError)
+
+
+def test_min_results_above_max_results_rejected():
+    with pytest.raises(SurfacingConfigError, match="min_results_per_page"):
+        SurfacingConfig(min_results_per_page=50, max_results_per_page=10)
+
+
+def test_negative_min_results_rejected():
+    with pytest.raises(SurfacingConfigError, match="min_results_per_page"):
+        SurfacingConfig(min_results_per_page=-1)
+
+
+@pytest.mark.parametrize(
+    "field",
+    [
+        "max_urls_per_form",
+        "probes_per_template",
+        "max_template_dimensions",
+        "max_templates_per_form",
+        "max_values_per_input",
+        "max_results_per_page",
+    ],
+)
+@pytest.mark.parametrize("value", [0, -3])
+def test_non_positive_budgets_rejected(field, value):
+    with pytest.raises(SurfacingConfigError, match=field):
+        SurfacingConfig(**{field: value})
+
+
+@pytest.mark.parametrize("field", ["keyword_seed_count", "keyword_rounds", "max_keywords"])
+def test_negative_keyword_knobs_rejected(field):
+    with pytest.raises(SurfacingConfigError, match=field):
+        SurfacingConfig(**{field: -1})
+
+
+@pytest.mark.parametrize("threshold", [-0.01, 1.01, 5.0])
+def test_threshold_outside_unit_interval_rejected(threshold):
+    with pytest.raises(SurfacingConfigError, match="informativeness_threshold"):
+        SurfacingConfig(informativeness_threshold=threshold)
+
+
+@pytest.mark.parametrize("threshold", [0.0, 0.2, 1.0])
+def test_threshold_boundaries_accepted(threshold):
+    SurfacingConfig(informativeness_threshold=threshold)
+
+
+def test_multiple_problems_reported_together():
+    with pytest.raises(SurfacingConfigError) as excinfo:
+        SurfacingConfig(max_urls_per_form=0, informativeness_threshold=2.0)
+    message = str(excinfo.value)
+    assert "max_urls_per_form" in message
+    assert "informativeness_threshold" in message

@@ -1,0 +1,88 @@
+"""Regression: the staged pipeline reproduces the legacy ``Surfacer`` path.
+
+Two identically-seeded webs are surfaced, one through the historical
+``Surfacer(web, engine, config).surface_site(site)`` call shape and one
+through ``SurfacingPipeline`` directly; every number the experiments
+consume must match exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    SearchEngine,
+    Surfacer,
+    SurfacingConfig,
+    SurfacingPipeline,
+    WebConfig,
+    generate_web,
+)
+
+pytestmark = pytest.mark.smoke
+
+WEB_CONFIG = WebConfig(total_deep_sites=4, surface_site_count=1, max_records=80, seed=3)
+SURFACING_CONFIG = SurfacingConfig(seed=11, max_urls_per_form=200)
+
+
+@pytest.fixture(scope="module")
+def equivalent_runs():
+    legacy_web = generate_web(WEB_CONFIG)
+    staged_web = generate_web(WEB_CONFIG)
+    legacy_engine = SearchEngine()
+    staged_engine = SearchEngine()
+    legacy = Surfacer(legacy_web, legacy_engine, SURFACING_CONFIG).surface_web()
+    staged = SurfacingPipeline(staged_web, staged_engine, SURFACING_CONFIG).surface_web()
+    return legacy, staged, legacy_engine, staged_engine
+
+
+def test_site_results_are_identical(equivalent_runs):
+    legacy, staged, _legacy_engine, _staged_engine = equivalent_runs
+    assert len(legacy) == len(staged) > 0
+    for legacy_result, staged_result in zip(legacy, staged):
+        assert legacy_result.host == staged_result.host
+        assert legacy_result.forms_found == staged_result.forms_found
+        assert legacy_result.forms_surfaced == staged_result.forms_surfaced
+        assert legacy_result.post_forms_skipped == staged_result.post_forms_skipped
+        assert legacy_result.urls_generated == staged_result.urls_generated
+        assert legacy_result.urls_indexed == staged_result.urls_indexed
+        assert legacy_result.probes_issued == staged_result.probes_issued
+        assert legacy_result.analysis_load == staged_result.analysis_load
+        assert legacy_result.records_covered == staged_result.records_covered
+        assert legacy_result.record_sets == staged_result.record_sets
+
+
+def test_form_results_are_identical(equivalent_runs):
+    legacy, staged, _legacy_engine, _staged_engine = equivalent_runs
+    for legacy_result, staged_result in zip(legacy, staged):
+        for legacy_form, staged_form in zip(
+            legacy_result.form_results, staged_result.form_results
+        ):
+            assert legacy_form.form_identity == staged_form.form_identity
+            assert legacy_form.skipped == staged_form.skipped
+            assert legacy_form.skip_reason == staged_form.skip_reason
+            assert legacy_form.typed_inputs == staged_form.typed_inputs
+            assert legacy_form.range_pairs == staged_form.range_pairs
+            assert legacy_form.templates_selected == staged_form.templates_selected
+            assert legacy_form.urls_kept == staged_form.urls_kept
+            assert legacy_form.urls_indexed == staged_form.urls_indexed
+
+
+def test_coverage_reports_are_identical(equivalent_runs):
+    legacy, staged, _legacy_engine, _staged_engine = equivalent_runs
+    for legacy_result, staged_result in zip(legacy, staged):
+        assert (legacy_result.coverage is None) == (staged_result.coverage is None)
+        if legacy_result.coverage is not None:
+            assert legacy_result.coverage.true_coverage == staged_result.coverage.true_coverage
+            assert (
+                legacy_result.coverage.estimated_coverage
+                == staged_result.coverage.estimated_coverage
+            )
+
+
+def test_indexes_are_identical(equivalent_runs):
+    _legacy, _staged, legacy_engine, staged_engine = equivalent_runs
+    assert len(legacy_engine) == len(staged_engine)
+    assert legacy_engine.count_by_source() == staged_engine.count_by_source()
+    legacy_urls = sorted(document.url for document in legacy_engine.documents())
+    staged_urls = sorted(document.url for document in staged_engine.documents())
+    assert legacy_urls == staged_urls
