@@ -31,6 +31,8 @@ The package implements, over a fully simulated web:
   form matching, routing, reformulation, wrappers, vertical search).
 * ``repro.webtables`` -- the WebTables-style corpus and semantic services.
 * ``repro.analysis`` -- long-tail impact analysis and experiment harnesses.
+* ``repro.perf`` -- named timers/counters and the observer bridge used by
+  ``scripts/bench_report.py``.
 """
 
 __version__ = "0.2.0"
@@ -38,6 +40,7 @@ __version__ = "0.2.0"
 from repro.api import (
     DeepWebService,
     DeepWebServiceBuilder,
+    ParallelSurfacingScheduler,
     ServiceReport,
     SiteReportRow,
     SurfacingScheduler,
@@ -71,6 +74,7 @@ __all__ = [
     "ServiceReport",
     "SiteReportRow",
     "SurfacingScheduler",
+    "ParallelSurfacingScheduler",
     # surfacing pipeline
     "SurfacingPipeline",
     "Stage",

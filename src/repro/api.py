@@ -18,24 +18,30 @@ fluent builder:
     print(service.report())
 
 All site surfacing -- ``surface()`` and ``surface_many()`` -- is batched
-through a single :class:`SurfacingScheduler` seam, which is where sharding
-or async execution will plug in later; today it runs batches serially
-while keeping global progress indices intact for observers.
+through a single :class:`SurfacingScheduler` seam.  Two schedulers ship:
+the serial default, and :class:`ParallelSurfacingScheduler`, which fans a
+batch of sites out over a thread pool while producing results, index
+contents and observer events identical to the serial run (select it with
+``DeepWebService.build().parallel()``).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Sequence
+from typing import IO, Iterable, Mapping, Sequence
 
 from repro.core.surfacer import SiteSurfacingResult, SurfacingConfig
 from repro.pipeline.observer import MetricsObserver, PipelineObserver, ProgressObserver
 from repro.pipeline.pipeline import SurfacingPipeline
 from repro.pipeline.stages import Stage
 from repro.search.crawler import CrawlStats, Crawler
-from repro.search.engine import SearchEngine, SearchResult
+from repro.search.engine import SOURCE_SURFACE, SearchEngine, SearchResult
+from repro.util.text import tokenize
+from repro.webspace.page import WebPage
 from repro.webspace.site import DeepWebSite
 from repro.webspace.sitegen import WebConfig, generate_web
+from repro.webspace.url import Url
 from repro.webspace.web import Web
 
 
@@ -77,6 +83,182 @@ class SurfacingScheduler:
                     batch, start_index=start_index + len(results), total=total
                 )
             )
+        return results
+
+
+class _SiteEngineRecorder:
+    """An engine stand-in for one parallel surfacing worker.
+
+    During a parallel batch the shared :class:`SearchEngine` is frozen;
+    each worker records its would-be inserts here (pages analyzed and
+    tokenized once, off the main thread) and reads host-scoped term
+    frequencies as the union of the frozen base and its own local inserts.
+    Site hosts are unique, so this view is exactly what the serial run
+    would have seen.  ``replay`` applies the recorded inserts to the real
+    engine in deterministic site order.
+    """
+
+    def __init__(self, base: SearchEngine) -> None:
+        self._base = base
+        self._prepared: list[dict] = []
+        self._local_ids: dict[str, int] = {}
+        self._host_counts: dict[tuple[str, bool], dict[str, int]] = {}
+
+    def add_page(
+        self,
+        page: WebPage,
+        source: str = SOURCE_SURFACE,
+        annotations: Mapping[str, str] | None = None,
+    ) -> int | None:
+        """Record one insert; mirrors :meth:`SearchEngine.add_page` exactly
+        (returns a provisional negative id for new documents)."""
+        if not page.ok:
+            return None
+        existing = self._base.document_for_url(page.url)
+        if existing is not None:
+            return existing.doc_id
+        local = self._local_ids.get(page.url)
+        if local is not None:
+            return local
+        analysis = self._base.signature_cache.analyze(page.html)
+        tokens = tokenize(analysis.text)
+        if annotations:
+            for key, value in annotations.items():
+                tokens.extend(tokenize(f"{key} {value}"))
+        host = Url.parse(page.url).host
+        provisional = -(len(self._prepared) + 1)
+        self._prepared.append(
+            dict(
+                url=page.url,
+                host=host,
+                title=analysis.title,
+                text=analysis.text,
+                tokens=tokens,
+                source=source,
+                annotations=dict(annotations or {}),
+            )
+        )
+        self._local_ids[page.url] = provisional
+        self._host_counts = {}
+        return provisional
+
+    def site_term_frequencies(self, host: str, drop_stopwords: bool = True) -> dict[str, int]:
+        """Base counts for the host plus counts of locally recorded pages."""
+        cache_key = (host, drop_stopwords)
+        cached = self._host_counts.get(cache_key)
+        if cached is None:
+            cached = self._base.site_term_frequencies(host, drop_stopwords=drop_stopwords)
+            for payload in self._prepared:
+                if payload["host"] == host:
+                    for token in tokenize(payload["text"], drop_stopwords=drop_stopwords):
+                        cached[token] = cached.get(token, 0) + 1
+            self._host_counts[cache_key] = cached
+        return dict(cached)
+
+    def replay(self, engine: SearchEngine) -> None:
+        """Apply the recorded inserts to the shared engine, in order."""
+        for payload in self._prepared:
+            engine.add_prepared(**payload)
+
+
+class _StageEventRecorder(PipelineObserver):
+    """Buffers a worker's stage events for in-order replay on the caller.
+
+    Replayed events carry the worker's *live* context object: event names,
+    order, counts and timings match the serial run exactly, but an observer
+    that reads mutable ``ctx`` fields sees the site's end-of-run state
+    (replay happens after the worker finished).  The in-repo observers
+    (metrics, progress, perf) only read stage names/results/timings and are
+    unaffected; ctx-snapshot-sensitive observers should use the serial
+    scheduler."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, str, object, float | None]] = []
+
+    def on_stage_start(self, stage_name, ctx) -> None:
+        self.events.append(("start", stage_name, ctx, None))
+
+    def on_stage_end(self, stage_name, ctx, elapsed) -> None:
+        self.events.append(("end", stage_name, ctx, elapsed))
+
+    def replay(self, observers: Sequence[PipelineObserver]) -> None:
+        for kind, stage_name, ctx, elapsed in self.events:
+            for observer in observers:
+                if kind == "start":
+                    observer.on_stage_start(stage_name, ctx)
+                else:
+                    observer.on_stage_end(stage_name, ctx, elapsed)
+
+
+class ParallelSurfacingScheduler(SurfacingScheduler):
+    """Thread-pool scheduler producing results identical to the serial run.
+
+    Each site in a batch is surfaced by an isolated worker pipeline: a
+    fresh :class:`~repro.pipeline.context.PipelineContext` over the shared
+    web (every seeded helper derives its randomness from the config seed by
+    name, so fresh instances replay the exact serial streams) and a
+    :class:`_SiteEngineRecorder` in place of the shared engine.  The shared
+    engine is only mutated between batches, when each worker's recorded
+    inserts are replayed in site order; observer events are replayed in the
+    same deterministic order, so metrics and progress output match the
+    serial scheduler event for event.
+
+    Two caveats for pipelines customized beyond the defaults:
+
+    * stage *instances* are shared across worker threads, so custom stages
+      must not keep per-run mutable state on ``self`` (every built-in stage
+      is stateless; a stateful stage needs the serial scheduler);
+    * replayed stage events carry the worker's live context, which by
+      replay time holds the site's end-of-run state -- observers that read
+      mutable ``ctx`` fields per stage should also stay serial (event
+      names, order, counts, results and timings are unaffected).
+    """
+
+    def __init__(self, max_workers: int = 4, batch_size: int = 8) -> None:
+        super().__init__(batch_size=batch_size)
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    @staticmethod
+    def _surface_one(pipeline: SurfacingPipeline, site: DeepWebSite):
+        recorder = _SiteEngineRecorder(pipeline.engine)
+        events = _StageEventRecorder()
+        worker = SurfacingPipeline(
+            pipeline.web,
+            recorder,
+            pipeline.config,
+            stages=pipeline.stages,
+            observers=[events],
+        )
+        result = worker.surface_site(site)
+        return result, recorder, events
+
+    def run(
+        self,
+        pipeline: SurfacingPipeline,
+        sites: Iterable[DeepWebSite],
+        start_index: int = 0,
+        total: int | None = None,
+    ) -> list[SiteSurfacingResult]:
+        targets = list(sites)
+        total = total if total is not None else start_index + len(targets)
+        results: list[SiteSurfacingResult] = []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            for batch in self.batches(targets):
+                futures = [
+                    pool.submit(self._surface_one, pipeline, site) for site in batch
+                ]
+                outcomes = [future.result() for future in futures]
+                for site, (result, recorder, events) in zip(batch, outcomes):
+                    index = start_index + len(results)
+                    for observer in pipeline.observers:
+                        observer.on_site_start(site, index, total)
+                    events.replay(pipeline.observers)
+                    recorder.replay(pipeline.engine)
+                    results.append(result)
+                    for observer in pipeline.observers:
+                        observer.on_site_end(site, result, index, total)
         return results
 
 
@@ -189,6 +371,18 @@ class DeepWebServiceBuilder:
     def scheduler(self, scheduler: SurfacingScheduler) -> "DeepWebServiceBuilder":
         self._scheduler = scheduler
         return self
+
+    def parallel(self, max_workers: int = 4, batch_size: int = 8) -> "DeepWebServiceBuilder":
+        """Surface sites through the thread-pool scheduler (results are
+        identical to the serial scheduler on a fixed seed).
+
+        Custom stages must be stateless (instances are shared across worker
+        threads), and observers reading mutable ``ctx`` fields see end-of-
+        site state in replayed stage events -- see
+        :class:`ParallelSurfacingScheduler` for the full caveats."""
+        return self.scheduler(
+            ParallelSurfacingScheduler(max_workers=max_workers, batch_size=batch_size)
+        )
 
     def create(self) -> "DeepWebService":
         web = self._web if self._web is not None else generate_web(self._web_config or WebConfig())

@@ -6,6 +6,21 @@ different value assignments produce *distinct* result pages.  A page
 signature captures what matters for that comparison: whether the page is an
 error / empty-results page, how many results it reports, and which records
 (detail links) it lists.
+
+Signature computation is the hottest path of the whole system (every probe,
+every indexability check and every indexed page goes through it), so it is
+organised around two ideas:
+
+* :func:`analyze_html` parses the DOM **once** and derives everything the
+  downstream consumers need -- title, visible text, anchor hrefs, the
+  result-count banner and the error state -- in a single traversal
+  (:class:`PageAnalysis`).  The search engine and the keyword prober reuse
+  the same analysis instead of re-parsing the page.
+* :class:`SignatureCache` keys analyses by a fast content hash of the raw
+  HTML, so identical result pages -- empty-results pages and error pages
+  repeat constantly across probes, templates and sites -- are never parsed
+  twice.  Signatures additionally key on the link-resolution base, because
+  relative detail links resolve differently under different page URLs.
 """
 
 from __future__ import annotations
@@ -15,14 +30,22 @@ import re
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.htmlparse.dom import parse_html
-from repro.htmlparse.links import extract_links
-from repro.htmlparse.text import extract_text
+from repro.htmlparse.dom import DomNode, parse_html
+from repro.htmlparse.links import keep_href, resolve_links
+from repro.htmlparse.text import SKIP_TAGS
 from repro.util.text import normalize
 from repro.webspace.url import Url
 
 _RESULT_COUNT_RE = re.compile(r"(\d+)\s+results?\s+found", re.IGNORECASE)
 _NO_RESULTS_RE = re.compile(r"no\s+results\s+found", re.IGNORECASE)
+_ERROR_MARKERS = ("404 not found", "405 method not allowed", "500 server error")
+
+# Canonical detail links (http://host/.../item?id=N, no escapes, single
+# param) are recognized directly; anything unusual falls back to Url.parse.
+_ITEM_LINK_RE = re.compile(
+    r"^http://(?P<host>[A-Za-z0-9.:-]+)(?:/[A-Za-z0-9_.~-]+)*/item/?"
+    r"\?id=(?P<id>[A-Za-z0-9_.~-]*)$"
+)
 
 
 @dataclass(frozen=True)
@@ -47,10 +70,24 @@ class PageSignature:
         return self.content_hash != other.content_hash
 
 
+ERROR_SIGNATURE = PageSignature(
+    content_hash="error", result_count=0, record_ids=frozenset(), is_error=True
+)
+
+
 def record_ids_from_links(links: Iterable[str]) -> frozenset[str]:
     """Record identifiers referenced by detail-page links on a result page."""
     ids = set()
     for link in links:
+        # Fast pre-filter: an item link must mention "item" somewhere, so
+        # URL parsing is skipped for the vast majority of
+        # navigation/pagination links.
+        if "item" not in link:
+            continue
+        match = _ITEM_LINK_RE.match(link)
+        if match is not None:
+            ids.add(f"{match.group('host')}#{match.group('id')}")
+            continue
         url = Url.parse(link)
         if url.path.rstrip("/").endswith("item"):
             record_id = url.param("id")
@@ -59,60 +96,279 @@ def record_ids_from_links(links: Iterable[str]) -> frozenset[str]:
     return frozenset(ids)
 
 
-def signature_of(html: str, status_ok: bool = True) -> PageSignature:
-    """Compute the signature of a result page from its HTML."""
+# -- single-pass page analysis --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PageAnalysis:
+    """Everything derivable from one parse of a result page.
+
+    ``hrefs`` are raw (unresolved) anchor targets so the analysis stays a
+    pure function of the HTML content; link resolution against a base URL
+    happens at signature time.  ``banner_count`` is the explicit result
+    count banner (``None`` when the page shows no banner, in which case the
+    signature falls back to counting detail links).
+    """
+
+    content_key: str
+    title: str
+    text: str
+    digest: str
+    banner_count: int | None
+    is_error: bool
+    hrefs: tuple[str, ...]
+
+    def record_ids(self, page_url: str | Url | None = None) -> frozenset[str]:
+        """Detail-link record ids, resolving relative links against ``page_url``."""
+        return record_ids_from_links(resolve_links(self.hrefs, page_url))
+
+    def signature(self, page_url: str | Url | None = None) -> PageSignature:
+        """Derive the page signature under the given link-resolution base."""
+        record_ids = self.record_ids(page_url)
+        count = self.banner_count if self.banner_count is not None else len(record_ids)
+        return PageSignature(
+            content_hash=self.digest,
+            result_count=max(0, count),
+            record_ids=record_ids,
+            is_error=self.is_error,
+        )
+
+
+def content_key(html: str) -> str:
+    """A fast collision-resistant key for raw page content."""
+    return hashlib.blake2b(html.encode("utf-8", "surrogatepass"), digest_size=16).hexdigest()
+
+
+class _PageScan:
+    """Mutable state for the single DOM traversal."""
+
+    __slots__ = ("title", "pieces", "hrefs")
+
+    def __init__(self) -> None:
+        self.title: str | None = None
+        self.pieces: list[str] = []
+        self.hrefs: list[str] = []
+
+
+def _scan(node: DomNode, text_root: DomNode, collecting: bool, state: _PageScan) -> None:
+    """One depth-first traversal collecting title, anchors and visible text.
+
+    Text collection mirrors :func:`repro.htmlparse.text.extract_text`
+    exactly (it starts at ``text_root`` and skips ``_SKIP_TAGS`` subtrees,
+    with a node's own text chunks preceding its children's); anchors and the
+    title are collected over the whole document regardless of text scope.
+    """
+    if node is text_root:
+        collecting = True
+    tag = node.tag
+    if state.title is None and tag == "title":
+        state.title = node.text()
+    elif tag == "a":
+        href = node.attrs.get("href", "").strip()
+        if keep_href(href):
+            state.hrefs.append(href)
+    if collecting:
+        if tag in SKIP_TAGS:
+            collecting = False
+        else:
+            state.pieces.extend(node.text_chunks)
+    for child in node.children:
+        _scan(child, text_root, collecting, state)
+
+
+def analyze_html(html: str, key: str | None = None) -> PageAnalysis:
+    """Parse a page once and derive every signature/indexing ingredient.
+
+    The produced ``text`` (and therefore the content digest) is
+    byte-identical to ``extract_text(parse_html(html))`` and the hrefs match
+    what ``extract_links`` would collect before resolution.
+    """
+    dom = parse_html(html)
+    text_root = dom.find_first("body") or dom
+    state = _PageScan()
+    _scan(dom, text_root, collecting=False, state=state)
+    title = state.title or ""
+    pieces = ([title] if title else []) + state.pieces
+    text = " ".join(pieces)
+    normalized = normalize(text)
+    match = _RESULT_COUNT_RE.search(text)
+    if match:
+        banner_count: int | None = int(match.group(1))
+    elif _NO_RESULTS_RE.search(text):
+        banner_count = 0
+    else:
+        banner_count = None
+    return PageAnalysis(
+        content_key=key if key is not None else content_key(html),
+        title=title,
+        text=text,
+        digest=hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:16],
+        banner_count=banner_count,
+        is_error=any(marker in normalized for marker in _ERROR_MARKERS),
+        hrefs=tuple(state.hrefs),
+    )
+
+
+# -- the content-keyed cache ----------------------------------------------------
+
+
+class SignatureCache:
+    """Content-keyed cache of page analyses and derived signatures.
+
+    Analyses are keyed by a hash of the raw HTML; derived signatures are
+    additionally keyed by the link-resolution base (host + directory), since
+    relative links resolve differently under different page URLs.  Entries
+    are evicted FIFO past ``max_entries``; ``max_entries=0`` disables
+    storage entirely (every call recomputes), which is how the benchmark
+    harness measures the uncached baseline.
+
+    The cache is safe to share across threads: analyses are pure functions
+    of content, so a race at worst duplicates work (hit/miss counters are
+    best-effort under concurrency).
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._analyses: dict[str, PageAnalysis] = {}
+        # content_key -> {(base_host, base_dir) -> signature}; bucketed per
+        # content so eviction drops exactly one page's derived signatures.
+        self._signatures: dict[str, dict[tuple[str, str], PageSignature]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._analyses)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._analyses),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def clear(self) -> None:
+        self._analyses.clear()
+        self._signatures.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookups ----------------------------------------------------------
+
+    def analyze(self, html: str) -> PageAnalysis:
+        """The (cached) single-pass analysis of a page."""
+        key = content_key(html)
+        cached = self._analyses.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        analysis = analyze_html(html, key)
+        if self.max_entries:
+            if len(self._analyses) >= self.max_entries:
+                self._evict()
+            self._analyses[key] = analysis
+        return analysis
+
+    def signature(
+        self,
+        html: str,
+        status_ok: bool = True,
+        page_url: str | Url | None = None,
+    ) -> PageSignature:
+        """The (cached) signature of a page under a link-resolution base."""
+        if not status_ok:
+            return ERROR_SIGNATURE
+        if page_url is None:
+            base_host, base_dir = "", ""
+        else:
+            base = page_url if isinstance(page_url, Url) else Url.parse(str(page_url))
+            base_host, base_dir = base.host, base.path.rsplit("/", 1)[0]
+        analysis = self.analyze(html)
+        bucket = self._signatures.get(analysis.content_key)
+        base_key = (base_host, base_dir)
+        if bucket is not None:
+            cached = bucket.get(base_key)
+            if cached is not None:
+                return cached
+        signature = analysis.signature(page_url)
+        if self.max_entries:
+            if bucket is None:
+                if len(self._signatures) >= self.max_entries:
+                    self._evict_signature_bucket()
+                bucket = self._signatures.setdefault(analysis.content_key, {})
+            bucket[base_key] = signature
+        return signature
+
+    def _evict(self) -> None:
+        # FIFO eviction of one analysis plus exactly its derived signatures.
+        # RuntimeError covers a concurrent insert racing the iterator --
+        # eviction is skipped and retried on the next miss.
+        try:
+            key = next(iter(self._analyses))
+            self._analyses.pop(key, None)
+            self._signatures.pop(key, None)
+        except (StopIteration, RuntimeError):  # pragma: no cover - races
+            pass
+
+    def _evict_signature_bucket(self) -> None:
+        try:
+            self._signatures.pop(next(iter(self._signatures)), None)
+        except (StopIteration, RuntimeError):  # pragma: no cover - races
+            pass
+
+
+_DEFAULT_CACHE = SignatureCache()
+
+
+def default_signature_cache() -> SignatureCache:
+    """The process-wide shared cache (prober, engine and crawler default)."""
+    return _DEFAULT_CACHE
+
+
+def set_default_signature_cache(cache: SignatureCache) -> SignatureCache:
+    """Swap the process-wide cache (benchmarks use this to disable caching);
+    returns the previous cache so callers can restore it."""
+    global _DEFAULT_CACHE
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return previous
+
+
+# -- public signature entry points ----------------------------------------------
+
+
+def signature_of(
+    html: str,
+    status_ok: bool = True,
+    page_url: str | Url | None = None,
+    cache: SignatureCache | None = None,
+) -> PageSignature:
+    """Compute the signature of a result page from its HTML.
+
+    ``page_url`` (when given) is the base against which relative detail
+    links are resolved; without it only absolute links count.  Analyses are
+    served from ``cache`` (the process-wide default unless overridden).
+    """
     if not status_ok:
-        return PageSignature(content_hash="error", result_count=0, record_ids=frozenset(), is_error=True)
-    dom = parse_html(html)
-    text = extract_text(dom)
-    normalized = normalize(text)
-    match = _RESULT_COUNT_RE.search(text)
-    if match:
-        result_count = int(match.group(1))
-    elif _NO_RESULTS_RE.search(text):
-        result_count = 0
-    else:
-        # No explicit banner: fall back to counting listed records.
-        result_count = -1
-    links = extract_links(dom, page_url=None)
-    # extract_links needs a base for relative links; re-run with a dummy base
-    # when nothing absolute was found.
-    record_ids = record_ids_from_links(links)
-    if result_count == -1:
-        result_count = len(record_ids)
-    digest = hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:16]
-    is_error = "404 not found" in normalized or "405 method not allowed" in normalized or "500 server error" in normalized
-    return PageSignature(
-        content_hash=digest,
-        result_count=max(0, result_count),
-        record_ids=record_ids,
-        is_error=is_error,
-    )
+        return ERROR_SIGNATURE
+    if cache is None:  # empty caches are falsy, so test identity
+        cache = _DEFAULT_CACHE
+    return cache.signature(html, page_url=page_url)
 
 
-def signature_for_page(html: str, page_url: str) -> PageSignature:
-    """Like :func:`signature_of` but resolves relative detail links against the page URL."""
-    dom = parse_html(html)
-    text = extract_text(dom)
-    normalized = normalize(text)
-    match = _RESULT_COUNT_RE.search(text)
-    if match:
-        result_count = int(match.group(1))
-    elif _NO_RESULTS_RE.search(text):
-        result_count = 0
-    else:
-        result_count = -1
-    record_ids = record_ids_from_links(extract_links(dom, page_url=page_url))
-    if result_count == -1:
-        result_count = len(record_ids)
-    digest = hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:16]
-    is_error = "404 not found" in normalized or "405 method not allowed" in normalized or "500 server error" in normalized
-    return PageSignature(
-        content_hash=digest,
-        result_count=max(0, result_count),
-        record_ids=record_ids,
-        is_error=is_error,
-    )
+def signature_for_page(
+    html: str, page_url: str | Url, cache: SignatureCache | None = None
+) -> PageSignature:
+    """:func:`signature_of` with relative links resolved against the page URL."""
+    return signature_of(html, page_url=page_url, cache=cache)
 
 
 def distinct_signature_fraction(signatures: Sequence[PageSignature]) -> float:

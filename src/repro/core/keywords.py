@@ -14,8 +14,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.form_model import SurfacingForm
+from repro.core.informativeness import SignatureCache, default_signature_cache
 from repro.core.probe import FormProber, ProbeResult
-from repro.htmlparse.text import extract_text
 from repro.search.engine import SearchEngine
 from repro.util.text import STOPWORDS, tokenize
 
@@ -68,7 +68,8 @@ class IterativeProber:
         if self.engine is not None:
             counts.update(self.engine.site_term_frequencies(form.host))
         if not counts and form_page_html:
-            counts.update(tokenize(extract_text(form_page_html), drop_stopwords=True))
+            text = self.prober.signature_cache.analyze(form_page_html).text
+            counts.update(tokenize(text, drop_stopwords=True))
         candidates = [
             word
             for word, count in counts.most_common(self.seed_count * 4)
@@ -91,9 +92,13 @@ class IterativeProber:
     # -- candidate extraction ------------------------------------------------------
 
     @staticmethod
-    def extract_candidates(result: ProbeResult, limit: int) -> list[str]:
+    def extract_candidates(
+        result: ProbeResult, limit: int, cache: SignatureCache | None = None
+    ) -> list[str]:
         """New candidate keywords mined from a probe's result page."""
-        text = extract_text(result.page.html)
+        if cache is None:  # empty caches are falsy, so test identity
+            cache = default_signature_cache()
+        text = cache.analyze(result.page.html).text
         counts = Counter(
             token
             for token in tokenize(text, drop_stopwords=True)
@@ -132,7 +137,9 @@ class IterativeProber:
                 probed[keyword] = result
                 if not result.has_results:
                     continue
-                for new_keyword in self.extract_candidates(result, self.candidates_per_round):
+                for new_keyword in self.extract_candidates(
+                    result, self.candidates_per_round, self.prober.signature_cache
+                ):
                     if new_keyword not in seen_candidates:
                         seen_candidates.add(new_keyword)
                         next_candidates.append(new_keyword)

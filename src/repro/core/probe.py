@@ -12,7 +12,11 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.form_model import SurfacingForm
-from repro.core.informativeness import PageSignature, signature_of
+from repro.core.informativeness import (
+    PageSignature,
+    SignatureCache,
+    default_signature_cache,
+)
 from repro.webspace.loadmeter import AGENT_SURFACER
 from repro.webspace.page import WebPage
 from repro.webspace.url import Url
@@ -43,11 +47,24 @@ class ProbeResult:
 class FormProber:
     """Submits form bindings and caches the signatures of the result pages."""
 
-    def __init__(self, web: Web, agent: str = AGENT_SURFACER) -> None:
+    def __init__(
+        self,
+        web: Web,
+        agent: str = AGENT_SURFACER,
+        signature_cache: SignatureCache | None = None,
+    ) -> None:
         self.web = web
         self.agent = agent
         self._cache: dict[str, ProbeResult] = {}
+        self._signature_cache = signature_cache
         self.probe_count = 0
+
+    @property
+    def signature_cache(self) -> SignatureCache:
+        """The content-keyed analysis cache (process default unless injected)."""
+        if self._signature_cache is not None:  # empty caches are falsy
+            return self._signature_cache
+        return default_signature_cache()
 
     def probe(self, form: SurfacingForm, bindings: Mapping[str, str]) -> ProbeResult:
         """Submit ``bindings`` to ``form`` and return the probe result.
@@ -62,7 +79,9 @@ class FormProber:
             return cached
         page = self.web.fetch(url, agent=self.agent)
         self.probe_count += 1
-        result = ProbeResult(url=url, page=page, signature=signature_of(page.html))
+        result = ProbeResult(
+            url=url, page=page, signature=self.signature_cache.signature(page.html)
+        )
         self._cache[key] = result
         return result
 

@@ -87,7 +87,12 @@ class TemplateSelector:
         """A deterministic sample of value assignments for a template.
 
         Uses the full Cartesian product when it is small, otherwise a seeded
-        random sample of combinations (without materializing the product).
+        sample of ``limit`` *distinct* positions in the (unmaterialized)
+        product, decoded mixed-radix into one combination each.  Sampling
+        positions instead of rejection-sampling combinations guarantees
+        exactly ``limit`` bindings in ``limit`` draws even when the product
+        is barely larger than the sample (the old ``while`` loop could spin
+        for ``limit * 10`` attempts on such near-full spaces).
         """
         limit = limit or self.probes_per_template
         value_lists = []
@@ -105,15 +110,14 @@ class TemplateSelector:
                 for combo in itertools.product(*value_lists)
             ]
         rng = self.rng.child(str(template))
+        indices = sorted(rng.sample_indices(total, limit))
         bindings = []
-        seen: set[tuple[str, ...]] = set()
-        attempts = 0
-        while len(bindings) < limit and attempts < limit * 10:
-            attempts += 1
-            combo = tuple(rng.choice(values) for values in value_lists)
-            if combo in seen:
-                continue
-            seen.add(combo)
+        for index in indices:
+            combo: list[str] = []
+            for values in reversed(value_lists):
+                index, position = divmod(index, len(values))
+                combo.append(values[position])
+            combo.reverse()
             bindings.append(dict(zip(template.binding_inputs, combo)))
         return bindings
 

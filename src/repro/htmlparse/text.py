@@ -5,7 +5,8 @@ from __future__ import annotations
 from repro.htmlparse.dom import DomNode, parse_html
 
 # Content inside these elements is never user-visible text.
-_SKIP_TAGS = frozenset({"script", "style", "head", "option", "noscript"})
+SKIP_TAGS = frozenset({"script", "style", "head", "option", "noscript"})
+_SKIP_TAGS = SKIP_TAGS
 
 
 def extract_title(html_or_dom: str | DomNode) -> str:

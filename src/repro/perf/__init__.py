@@ -1,0 +1,5 @@
+"""Performance instrumentation: named timers/counters + the observer bridge."""
+
+from repro.perf.instrumentation import PerfObserver, PerfRegistry, default_registry
+
+__all__ = ["PerfRegistry", "PerfObserver", "default_registry"]

@@ -1,0 +1,119 @@
+"""Named timers and counters for the hot paths.
+
+A :class:`PerfRegistry` aggregates two kinds of measurements:
+
+* **counters** -- monotonically increasing named integers
+  (``registry.increment("signature.cache_hit")``);
+* **timers** -- named call-count + cumulative-seconds pairs, fed either
+  through the :meth:`PerfRegistry.timer` context manager or directly via
+  :meth:`PerfRegistry.record_seconds`.
+
+The registry is thread-safe (parallel surfacing workers report into one
+registry) and deliberately tiny: benchmarks and the ``scripts/bench_report``
+harness read it with :meth:`PerfRegistry.as_dict` and reset it between
+phases.  :class:`PerfObserver` bridges the pipeline's existing observer
+hooks into a registry, so stage-level timings land next to the custom
+counters without the pipeline knowing about ``repro.perf`` at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.pipeline.observer import PipelineObserver
+
+
+class PerfRegistry:
+    """Thread-safe named counters and cumulative timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._timer_calls: dict[str, int] = {}
+        self._timer_seconds: dict[str, float] = {}
+
+    # -- counters ---------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- timers -----------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (cumulative across calls)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_seconds(name, time.perf_counter() - started)
+
+    def record_seconds(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
+            self._timer_seconds[name] = self._timer_seconds.get(name, 0.0) + seconds
+
+    def timer_calls(self, name: str) -> int:
+        return self._timer_calls.get(name, 0)
+
+    def timer_seconds(self, name: str) -> float:
+        return self._timer_seconds.get(name, 0.0)
+
+    # -- reporting --------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        """A plain snapshot: counters plus per-timer calls/seconds."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "timers": {
+                    name: {
+                        "calls": self._timer_calls[name],
+                        "seconds": round(self._timer_seconds[name], 6),
+                    }
+                    for name in sorted(self._timer_calls)
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timer_calls.clear()
+            self._timer_seconds.clear()
+
+
+_DEFAULT_REGISTRY = PerfRegistry()
+
+
+def default_registry() -> PerfRegistry:
+    """The process-wide registry (what ``scripts/bench_report`` reads)."""
+    return _DEFAULT_REGISTRY
+
+
+class PerfObserver(PipelineObserver):
+    """Feeds pipeline observer events into a :class:`PerfRegistry`.
+
+    Stage executions become ``stage.<name>`` timers, sites become the
+    ``sites.surfaced`` counter and per-site wall clock lands under the
+    ``site.surface`` timer -- all alongside whatever custom counters the
+    benchmarks record, in one registry.
+    """
+
+    def __init__(self, registry: PerfRegistry | None = None) -> None:
+        self.registry = registry or default_registry()
+
+    def on_site_end(self, site, result, index, total) -> None:
+        self.registry.increment("sites.surfaced")
+        self.registry.increment("urls.indexed", result.urls_indexed)
+        self.registry.increment("probes.issued", result.probes_issued)
+        self.registry.record_seconds("site.surface", result.elapsed_seconds)
+
+    def on_stage_end(self, stage_name, ctx, elapsed) -> None:
+        self.registry.record_seconds(f"stage.{stage_name}", elapsed)

@@ -30,12 +30,10 @@ from typing import Protocol, runtime_checkable
 from repro.core.annotation import annotation_for_bindings
 from repro.core.correlations import DatabaseSelection
 from repro.core.form_model import discover_forms
-from repro.core.informativeness import signature_for_page
 from repro.core.input_types import COMMON_TYPES, TYPE_SEARCH
 from repro.core.keywords import IterativeProber
 from repro.core.templates import QueryTemplate, TemplateSelector
 from repro.core.urlgen import GeneratedUrl, UrlGenerator
-from repro.htmlparse.text import extract_text
 from repro.pipeline.context import PipelineContext
 from repro.search.engine import SOURCE_SURFACED
 from repro.util.text import tokenize
@@ -275,7 +273,8 @@ def _keywords_for_category(
     per_category = per_category or max(3, ctx.config.max_keywords // 2)
     # Seed from the result page of the category-only submission.
     category_page = ctx.prober.probe(ctx.form, {database_selection.select_input: category})
-    seed_text = extract_text(category_page.page.html) if category_page.ok else ctx.homepage_html
+    seed_page = category_page.page.html if category_page.ok else ctx.homepage_html
+    seed_text = ctx.prober.signature_cache.analyze(seed_page).text
     seeds = [
         token
         for token in tokenize(seed_text, drop_stopwords=True)
@@ -322,7 +321,10 @@ def _index_url(ctx: PipelineContext, candidate: GeneratedUrl) -> bool:
     if doc_id is None:
         return False
     # Refresh record bookkeeping from the page as indexed (resolving
-    # relative links against the final URL).
-    signature = signature_for_page(result.page.html, result.page.url)
+    # relative links against the final URL).  The analysis is already cached
+    # from the probe that fetched the page, so this is a hash lookup.
+    signature = ctx.prober.signature_cache.signature(
+        result.page.html, page_url=result.page.url
+    )
     candidate.records = signature.record_ids
     return True

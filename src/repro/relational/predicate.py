@@ -13,6 +13,24 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.util.text import tokenize
 
+# Memoized token sets for Contains scans.  Backend column values repeat
+# heavily across rows and queries (makes, colors, cities, generated
+# descriptions), and every form submission re-scans the table, so caching
+# tokenization by value is the single biggest win in query execution.  The
+# cache is cleared wholesale when it outgrows its cap.
+_TOKEN_SET_CACHE: dict[str, frozenset[str]] = {}
+_TOKEN_SET_CACHE_MAX = 65536
+
+
+def _token_set(value: str) -> frozenset[str]:
+    tokens = _TOKEN_SET_CACHE.get(value)
+    if tokens is None:
+        if len(_TOKEN_SET_CACHE) >= _TOKEN_SET_CACHE_MAX:
+            _TOKEN_SET_CACHE.clear()
+        tokens = frozenset(tokenize(value))
+        _TOKEN_SET_CACHE[value] = tokens
+    return tokens
+
 
 class Predicate:
     """Base predicate; subclasses implement :meth:`matches`."""
@@ -47,12 +65,16 @@ class Eq(Predicate):
     column: str
     value: Any
 
+    def __post_init__(self) -> None:
+        folded = self.value.strip().lower() if isinstance(self.value, str) else None
+        object.__setattr__(self, "_value_folded", folded)
+
     def matches(self, row: Mapping[str, Any]) -> bool:
         actual = row.get(self.column)
         if actual is None:
             return False
-        if isinstance(actual, str) and isinstance(self.value, str):
-            return actual.strip().lower() == self.value.strip().lower()
+        if isinstance(actual, str) and self._value_folded is not None:
+            return actual.strip().lower() == self._value_folded
         return actual == self.value
 
     def columns(self) -> set[str]:
@@ -128,11 +150,14 @@ class Prefix(Predicate):
     column: str
     prefix: str = ""
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_prefix_folded", self.prefix.strip().lower())
+
     def matches(self, row: Mapping[str, Any]) -> bool:
         value = row.get(self.column)
         if value is None:
             return False
-        return str(value).strip().lower().startswith(self.prefix.strip().lower())
+        return str(value).strip().lower().startswith(self._prefix_folded)
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -162,13 +187,17 @@ class Contains(Predicate):
     def matches(self, row: Mapping[str, Any]) -> bool:
         if not self.keywords:
             return True
-        haystack: set[str] = set()
+        # Keywords must all appear in the union of the columns' tokens;
+        # subtracting per column allows an early exit once all are found.
+        remaining = set(self.keywords)
         for column in self.columns_searched:
             value = row.get(column)
             if value is None:
                 continue
-            haystack.update(tokenize(str(value)))
-        return all(keyword in haystack for keyword in self.keywords)
+            remaining -= _token_set(str(value))
+            if not remaining:
+                return True
+        return not remaining
 
     def columns(self) -> set[str]:
         return set(self.columns_searched)
@@ -190,9 +219,21 @@ class And(Predicate):
             else:
                 flattened.append(part)
         object.__setattr__(self, "parts", tuple(flattened))
+        # Evaluation order for the row scan: cheap, selective predicates
+        # first (a conjunction is order-independent, so this only affects
+        # speed).  The public ``parts`` tuple keeps the authored order.
+        cost = {Eq: 0, Range: 1, Prefix: 2, InSet: 3}
+        object.__setattr__(
+            self,
+            "_scan_order",
+            tuple(sorted(flattened, key=lambda part: cost.get(type(part), 9))),
+        )
 
     def matches(self, row: Mapping[str, Any]) -> bool:
-        return all(part.matches(row) for part in self.parts)
+        for part in self._scan_order:
+            if not part.matches(row):
+                return False
+        return True
 
     def columns(self) -> set[str]:
         names: set[str] = set()

@@ -15,7 +15,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.htmlparse.links import extract_links
+from repro.core.informativeness import SignatureCache, default_signature_cache
+from repro.htmlparse.links import resolve_links
 from repro.search.engine import SOURCE_DEEP_CRAWLED, SOURCE_SURFACE, SearchEngine
 from repro.webspace.loadmeter import AGENT_CRAWLER
 from repro.webspace.site import DeepWebSite
@@ -38,11 +39,26 @@ class CrawlStats:
 class Crawler:
     """Link-following crawler that feeds a :class:`SearchEngine`."""
 
-    def __init__(self, web: Web, engine: SearchEngine, agent: str = AGENT_CRAWLER) -> None:
+    def __init__(
+        self,
+        web: Web,
+        engine: SearchEngine,
+        agent: str = AGENT_CRAWLER,
+        signature_cache: SignatureCache | None = None,
+    ) -> None:
         self.web = web
         self.engine = engine
         self.agent = agent
+        self._signature_cache = signature_cache
         self._visited: set[str] = set()
+
+    @property
+    def signature_cache(self) -> SignatureCache:
+        """Shared single-pass analysis cache (link extraction + indexing
+        reuse one parse per fetched page)."""
+        if self._signature_cache is not None:  # empty caches are falsy
+            return self._signature_cache
+        return default_signature_cache()
 
     @property
     def visited_count(self) -> int:
@@ -79,11 +95,12 @@ class Crawler:
                 stats.skipped_errors += 1
                 continue
             source = self._source_for(url.host)
+            analysis = self.signature_cache.analyze(page.html)
             if self.engine.add_page(page, source=source) is not None:
                 stats.indexed += 1
             if depth >= max_depth:
                 continue
-            for link in extract_links(page.html, url):
+            for link in resolve_links(analysis.hrefs, url):
                 if link not in self._visited:
                     frontier.append((link, depth + 1))
         stats.frontier_exhausted = not frontier

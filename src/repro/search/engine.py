@@ -11,9 +11,9 @@ an annotation-aware ranker can exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
-from repro.htmlparse.text import extract_text, extract_title
+from repro.core.informativeness import SignatureCache, default_signature_cache
 from repro.search.inverted_index import InvertedIndex
 from repro.util.text import tokenize
 from repro.webspace.page import WebPage
@@ -56,11 +56,32 @@ class SearchResult:
 class SearchEngine:
     """An IR-style keyword search engine over indexed pages."""
 
-    def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
+    def __init__(
+        self,
+        k1: float = 1.5,
+        b: float = 0.75,
+        signature_cache: SignatureCache | None = None,
+    ) -> None:
+        self.k1 = k1
+        self.b = b
         self._index = InvertedIndex(k1=k1, b=b)
         self._documents: dict[int, Document] = {}
         self._url_to_doc: dict[str, int] = {}
         self._next_id = 1
+        self._signature_cache = signature_cache
+        # host -> term counts, invalidated per host on ingestion; keyword
+        # seeding asks for the same host's frequencies once per form, which
+        # made this an O(pages x tokens) hot spot.
+        self._host_terms: dict[tuple[str, bool], dict[str, int]] = {}
+
+    @property
+    def signature_cache(self) -> SignatureCache:
+        """The analysis cache ``add_page`` reads (process default unless
+        injected); share one cache with the prober/crawler that fetched the
+        pages so indexing never re-parses them."""
+        if self._signature_cache is not None:  # empty caches are falsy
+            return self._signature_cache
+        return default_signature_cache()
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -84,29 +105,58 @@ class SearchEngine:
             return None
         if page.url in self._url_to_doc:
             return self._url_to_doc[page.url]
-        title = extract_title(page.html)
-        text = extract_text(page.html)
-        tokens = tokenize(text)
+        # The single-pass analysis is usually already cached from the probe
+        # or crawl fetch that produced the page, so no re-parse happens here.
+        analysis = self.signature_cache.analyze(page.html)
+        tokens = tokenize(analysis.text)
         if annotations:
             # Annotations are indexed as additional tokens, which is how a
             # production index would exploit structured hints without a new
             # retrieval model.
             for key, value in annotations.items():
                 tokens.extend(tokenize(f"{key} {value}"))
+        host = Url.parse(page.url).host
+        return self.add_prepared(
+            url=page.url,
+            host=host,
+            title=analysis.title,
+            text=analysis.text,
+            tokens=tokens,
+            source=source,
+            annotations=annotations,
+        )
+
+    def add_prepared(
+        self,
+        url: str,
+        host: str,
+        title: str,
+        text: str,
+        tokens: Sequence[str],
+        source: str = SOURCE_SURFACE,
+        annotations: Mapping[str, str] | None = None,
+    ) -> int | None:
+        """Index a pre-analyzed page (``tokens`` already include annotation
+        tokens).  Used by :meth:`add_page` and by schedulers that analyze
+        pages off the main index and replay the inserts deterministically."""
+        existing = self._url_to_doc.get(url)
+        if existing is not None:
+            return existing
         doc_id = self._next_id
         self._next_id += 1
         self._index.add_document(doc_id, tokens)
-        host = Url.parse(page.url).host
         self._documents[doc_id] = Document(
             doc_id=doc_id,
-            url=page.url,
+            url=url,
             host=host,
             title=title,
             text=text,
             source=source,
             annotations=dict(annotations or {}),
         )
-        self._url_to_doc[page.url] = doc_id
+        self._url_to_doc[url] = doc_id
+        self._host_terms.pop((host, True), None)
+        self._host_terms.pop((host, False), None)
         return doc_id
 
     # -- lookup ---------------------------------------------------------------
@@ -169,10 +219,16 @@ class SearchEngine:
 
         The iterative-probing keyword selector seeds itself with the most
         characteristic words of the pages already indexed from a form site,
-        which is exactly what this provides.
+        which is exactly what this provides.  Counts are cached per host and
+        invalidated when a page for that host is ingested; callers receive a
+        copy and may mutate it freely.
         """
-        counts: dict[str, int] = {}
-        for doc in self.documents_for_host(host):
-            for token in tokenize(doc.text, drop_stopwords=drop_stopwords):
-                counts[token] = counts.get(token, 0) + 1
-        return counts
+        cache_key = (host, drop_stopwords)
+        cached = self._host_terms.get(cache_key)
+        if cached is None:
+            cached = {}
+            for doc in self.documents_for_host(host):
+                for token in tokenize(doc.text, drop_stopwords=drop_stopwords):
+                    cached[token] = cached.get(token, 0) + 1
+            self._host_terms[cache_key] = cached
+        return dict(cached)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import Counter, defaultdict
 from typing import Iterable, Sequence
@@ -14,6 +15,13 @@ class InvertedIndex:
     frequencies per document and document lengths; scoring uses the standard
     Okapi BM25 formula with a non-negative idf floor (so very common terms do
     not produce negative contributions on a small corpus).
+
+    Scoring ingredients that depend only on the corpus -- per-term idf and
+    per-document length norms -- are precomputed and cached; both caches are
+    invalidated whenever the index mutates (``add_document`` changes both the
+    document count and the average length, which every idf and norm depends
+    on).  When ``limit`` is given, ranking takes a heap-based top-k path
+    instead of sorting every matching document.
     """
 
     def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
@@ -22,6 +30,8 @@ class InvertedIndex:
         self._postings: dict[str, dict[int, int]] = defaultdict(dict)
         self._doc_lengths: dict[int, int] = {}
         self._total_length = 0
+        self._idf_cache: dict[str, float] = {}
+        self._norm_cache: dict[int, float] | None = None
 
     def __len__(self) -> int:
         return len(self._doc_lengths)
@@ -48,31 +58,68 @@ class InvertedIndex:
         if doc_id in self._doc_lengths:
             raise ValueError(f"document {doc_id} is already indexed")
         counts = Counter(tokens)
+        postings = self._postings
         for term, frequency in counts.items():
-            self._postings[term][doc_id] = frequency
+            postings[term][doc_id] = frequency
         self._doc_lengths[doc_id] = len(tokens)
         self._total_length += len(tokens)
+        # Every cached idf and length norm depends on N and avgdl.
+        self._idf_cache.clear()
+        self._norm_cache = None
+
+    # -- precomputed scoring ingredients ------------------------------------
+
+    def _length_norms(self) -> dict[int, float]:
+        """Per-document BM25 length norms, rebuilt once per index generation."""
+        norms = self._norm_cache
+        if norms is None:
+            average_length = self.average_length()
+            b = self.b
+            one_minus_b = 1 - b
+            if average_length:
+                # Same expression shape as the historical per-hit computation,
+                # so scores stay bit-identical to the unoptimized path.
+                norms = {
+                    doc_id: one_minus_b + b * (length / average_length)
+                    for doc_id, length in self._doc_lengths.items()
+                }
+            else:
+                norms = {
+                    doc_id: one_minus_b + b * 1.0 for doc_id in self._doc_lengths
+                }
+            self._norm_cache = norms
+        return norms
 
     # -- querying -----------------------------------------------------------
 
     def document_frequency(self, term: str) -> int:
-        return len(self._postings.get(term, {}))
+        return len(self._postings.get(term, ()))
 
     def idf(self, term: str) -> float:
         """BM25 idf with a small floor to keep scores non-negative."""
-        n = self.document_count()
-        df = self.document_frequency(term)
+        cached = self._idf_cache.get(term)
+        if cached is not None:
+            return cached
+        n = len(self._doc_lengths)
+        df = len(self._postings.get(term, ()))
         if n == 0 or df == 0:
-            return 0.0
-        return max(0.01, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+            value = 0.0
+        else:
+            value = max(0.01, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+        self._idf_cache[term] = value
+        return value
 
     def score(self, query_tokens: Iterable[str], limit: int | None = None) -> list[tuple[int, float]]:
         """BM25 scores for all documents matching at least one query term.
 
         Returns (doc_id, score) pairs sorted by descending score then
-        ascending doc id (for determinism).  ``limit`` truncates the list.
+        ascending doc id (for determinism).  ``limit`` truncates the list
+        (via a heap-based top-k selection that produces exactly the same
+        ordering as the full sort).
         """
-        average_length = self.average_length()
+        norms = self._length_norms()
+        k1 = self.k1
+        k1_plus_1 = k1 + 1
         accumulator: dict[int, float] = defaultdict(float)
         for term in query_tokens:
             postings = self._postings.get(term)
@@ -80,29 +127,43 @@ class InvertedIndex:
                 continue
             idf = self.idf(term)
             for doc_id, frequency in postings.items():
-                length = self._doc_lengths[doc_id]
-                length_norm = 1 - self.b + self.b * (length / average_length if average_length else 1.0)
-                tf_component = (frequency * (self.k1 + 1)) / (frequency + self.k1 * length_norm)
+                tf_component = (frequency * k1_plus_1) / (frequency + k1 * norms[doc_id])
                 accumulator[doc_id] += idf * tf_component
-        ranked = sorted(accumulator.items(), key=lambda item: (-item[1], item[0]))
+        sort_key = lambda item: (-item[1], item[0])  # noqa: E731
+        if limit is not None and limit < len(accumulator):
+            return heapq.nsmallest(limit, accumulator.items(), key=sort_key)
+        ranked = sorted(accumulator.items(), key=sort_key)
         if limit is not None:
             ranked = ranked[:limit]
         return ranked
 
     def matching_documents(self, query_tokens: Iterable[str], require_all: bool = False) -> set[int]:
-        """Doc ids containing any (or all) of the query terms."""
-        sets = []
+        """Doc ids containing any (or all) of the query terms.
+
+        Postings are combined lazily: unions accumulate over the posting
+        dicts directly, and intersections start from the smallest postings
+        list (ascending document frequency) with an empty-result early exit
+        -- no per-term key sets are materialized.
+        """
+        postings_list: list[dict[int, int]] = []
         for term in query_tokens:
-            postings = self._postings.get(term, {})
-            sets.append(set(postings.keys()))
-        if not sets:
+            postings = self._postings.get(term)
+            if postings is None:
+                if require_all:
+                    return set()
+                continue
+            postings_list.append(postings)
+        if not postings_list:
             return set()
         if require_all:
-            result = sets[0]
-            for other in sets[1:]:
-                result &= other
+            postings_list.sort(key=len)
+            result = set(postings_list[0])
+            for postings in postings_list[1:]:
+                result.intersection_update(postings)
+                if not result:
+                    break
             return result
         result = set()
-        for other in sets:
-            result |= other
+        for postings in postings_list:
+            result.update(postings)
         return result

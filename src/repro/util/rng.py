@@ -71,6 +71,11 @@ class SeededRng:
         k = min(k, len(items))
         return self._random.sample(list(items), k)
 
+    def sample_indices(self, total: int, k: int) -> list[int]:
+        """Sample ``k`` distinct indices from ``range(total)`` without
+        materializing the range (``k`` is clamped to ``total``)."""
+        return self._random.sample(range(total), min(k, total))
+
     def shuffle(self, items: list[T]) -> list[T]:
         """Return a new, shuffled copy of ``items``."""
         copy = list(items)

@@ -8,6 +8,7 @@ by agent so both loads can be compared directly (experiment E6).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
@@ -33,14 +34,19 @@ class LoadMeter:
 
     def __init__(self) -> None:
         self._by_host_agent: dict[str, Counter] = defaultdict(Counter)
+        # Fetches may come from parallel surfacing workers; the increment is
+        # a read-modify-write, so it is guarded.
+        self._lock = threading.Lock()
 
     def record(self, host: str, agent: str) -> None:
-        """Record one fetch from ``agent`` against ``host``."""
-        self._by_host_agent[host][agent] += 1
+        """Record one fetch from ``agent`` against ``host`` (thread-safe)."""
+        with self._lock:
+            self._by_host_agent[host][agent] += 1
 
     def reset(self) -> None:
         """Forget all recorded load."""
-        self._by_host_agent.clear()
+        with self._lock:
+            self._by_host_agent.clear()
 
     def total(self, host: str | None = None, agent: str | None = None) -> int:
         """Total fetches, optionally filtered by host and/or agent."""

@@ -5,12 +5,33 @@ type is deliberately explicit: host + path + an ordered mapping of query
 parameters.  Parameters are kept sorted when rendering, which makes URL
 de-duplication trivial (two submissions with the same bindings render to the
 same string).
+
+Parsing and rendering are hot (every probe, every extracted link and every
+record id goes through them), so both carry fast paths for the canonical
+URLs the simulator produces -- plain ``http://host/path?k=v&...`` strings
+whose characters need no percent-decoding -- with the general
+``urllib.parse`` machinery as the fallback.  The fast paths are
+byte-for-byte equivalent to the fallback (see
+``tests/webspace/test_url.py``).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, quote_plus, urlsplit
+
+# Characters that quote_plus never escapes: the fast render path skips the
+# quoting call entirely for values made only of these.
+_QUOTE_SAFE_RE = re.compile(r"^[A-Za-z0-9_.~-]*$")
+
+# URLs parseable without urlsplit/parse_qsl: no percent escapes, no '+', no
+# fragments, no userinfo, and a query of plain k=v pairs.
+_FAST_PARSE_RE = re.compile(
+    r"^http://(?P<host>[A-Za-z0-9.:-]+)"
+    r"(?P<path>/[A-Za-z0-9_.~/-]*)?"
+    r"(?:\?(?P<query>[A-Za-z0-9_.~=&-]*))?$"
+)
 
 
 @dataclass(frozen=True)
@@ -41,6 +62,21 @@ class Url:
 
         Accepts both ``http://host/path?query`` and ``host/path?query``.
         """
+        match = _FAST_PARSE_RE.match(text)
+        if match is not None:
+            query = match.group("query")
+            if query:
+                # Mirrors parse_qsl(keep_blank_values=True): empty segments
+                # are dropped, a missing '=' means an empty value, and the
+                # split happens at the first '='.
+                params = tuple(
+                    tuple(segment.split("=", 1)) if "=" in segment else (segment, "")
+                    for segment in query.split("&")
+                    if segment
+                )
+            else:
+                params = ()
+            return cls(host=match.group("host"), path=match.group("path") or "/", params=params)
         if "://" not in text:
             text = "http://" + text
         split = urlsplit(text)
@@ -56,7 +92,11 @@ class Url:
         return dict(self.params)
 
     def param(self, key: str, default: str | None = None) -> str | None:
-        return self.param_dict.get(key, default)
+        # Last value wins for duplicate keys, matching ``param_dict``.
+        for name, value in reversed(self.params):
+            if name == key:
+                return value
+        return default
 
     def with_params(self, **updates: object) -> "Url":
         """A copy with additional / replaced query parameters."""
@@ -72,11 +112,20 @@ class Url:
 
     def query_string(self) -> str:
         """The encoded query string (no leading '?')."""
+        safe = _QUOTE_SAFE_RE.match
         return "&".join(
-            f"{quote_plus(key)}={quote_plus(value)}" for key, value in self.params
+            f"{key if safe(key) else quote_plus(key)}"
+            f"={value if safe(value) else quote_plus(value)}"
+            for key, value in self.params
         )
 
     def __str__(self) -> str:
-        query = self.query_string()
-        suffix = f"?{query}" if query else ""
-        return f"http://{self.host}{self.path}{suffix}"
+        # Urls are frozen, so the rendering (hot: probe keys, link
+        # resolution, de-duplication) is computed once and memoized.
+        cached = self.__dict__.get("_text")
+        if cached is None:
+            query = self.query_string()
+            suffix = f"?{query}" if query else ""
+            cached = f"http://{self.host}{self.path}{suffix}"
+            object.__setattr__(self, "_text", cached)
+        return cached

@@ -1,0 +1,145 @@
+"""The parallel scheduler must reproduce the serial run bit for bit."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import (
+    DeepWebService,
+    ParallelSurfacingScheduler,
+    SurfacingConfig,
+    SurfacingScheduler,
+    WebConfig,
+)
+
+pytestmark = pytest.mark.smoke
+
+WEB_CONFIG = WebConfig(total_deep_sites=5, surface_site_count=1, max_records=90, seed=13)
+SURFACING = SurfacingConfig(seed=11, max_urls_per_form=120)
+
+
+def surfaced_service(parallel: bool):
+    builder = DeepWebService.build().web(WEB_CONFIG).surfacing(SURFACING)
+    stream = io.StringIO()
+    builder = builder.progress(stream)
+    if parallel:
+        builder = builder.parallel(max_workers=3, batch_size=2)
+    service = builder.create()
+    service.crawl(max_pages=300)
+    service.surface()
+    return service, stream
+
+
+@pytest.fixture(scope="module")
+def runs():
+    serial, serial_stream = surfaced_service(parallel=False)
+    parallel, parallel_stream = surfaced_service(parallel=True)
+    return serial, parallel, serial_stream, parallel_stream
+
+
+def site_key(result):
+    return (
+        result.host,
+        result.forms_found,
+        result.forms_surfaced,
+        result.post_forms_skipped,
+        result.urls_generated,
+        result.urls_indexed,
+        result.probes_issued,
+        result.analysis_load,
+        result.records_covered,
+        result.record_sets,
+        None if result.coverage is None else (
+            result.coverage.true_coverage,
+            result.coverage.lower_bound,
+            result.coverage.upper_bound,
+        ),
+    )
+
+
+class TestParallelEqualsSerial:
+    def test_site_results_identical(self, runs):
+        serial, parallel, _s, _p = runs
+        assert len(serial.results) == len(parallel.results) > 0
+        for left, right in zip(serial.results, parallel.results):
+            assert site_key(left) == site_key(right)
+
+    def test_form_results_identical(self, runs):
+        serial, parallel, _s, _p = runs
+        for left, right in zip(serial.results, parallel.results):
+            for lf, rf in zip(left.form_results, right.form_results):
+                assert lf.form_identity == rf.form_identity
+                assert lf.skipped == rf.skipped
+                assert lf.typed_inputs == rf.typed_inputs
+                assert lf.templates_selected == rf.templates_selected
+                assert lf.urls_kept == rf.urls_kept
+                assert lf.urls_indexed == rf.urls_indexed
+
+    def test_index_contents_identical_including_doc_ids(self, runs):
+        serial, parallel, _s, _p = runs
+        left = [
+            (d.doc_id, d.url, d.host, d.title, d.text, d.source, sorted(d.annotations.items()))
+            for d in serial.engine.documents()
+        ]
+        right = [
+            (d.doc_id, d.url, d.host, d.title, d.text, d.source, sorted(d.annotations.items()))
+            for d in parallel.engine.documents()
+        ]
+        assert left == right
+
+    def test_search_results_identical(self, runs):
+        serial, parallel, _s, _p = runs
+        for query in ("toyota", "apartment chicago", "red 2005"):
+            left = [(r.doc_id, r.url, r.score) for r in serial.search(query)]
+            right = [(r.doc_id, r.url, r.score) for r in parallel.search(query)]
+            assert left == right
+
+    def test_progress_output_identical(self, runs):
+        _serial, _parallel, serial_stream, parallel_stream = runs
+        assert serial_stream.getvalue() == parallel_stream.getvalue()
+
+    def test_reports_identical(self, runs):
+        serial, parallel, _s, _p = runs
+        assert serial.report().lines() == parallel.report().lines()
+        left = serial.report().stage_metrics
+        right = parallel.report().stage_metrics
+        for key in ("sites_finished", "forms_surfaced", "urls_indexed", "probes_issued", "stage_runs"):
+            assert left[key] == right[key]
+
+
+class TestSchedulerConfiguration:
+    def test_parallel_scheduler_is_a_scheduler(self):
+        assert isinstance(ParallelSurfacingScheduler(), SurfacingScheduler)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSurfacingScheduler(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelSurfacingScheduler(batch_size=0)
+
+    def test_builder_parallel_installs_scheduler(self):
+        service = (
+            DeepWebService.build()
+            .web(WebConfig(total_deep_sites=1, surface_site_count=1, max_records=20, seed=2))
+            .parallel(max_workers=2)
+            .create()
+        )
+        assert isinstance(service.scheduler, ParallelSurfacingScheduler)
+        assert service.scheduler.max_workers == 2
+
+    def test_surface_many_accumulates_like_serial(self):
+        config = WebConfig(total_deep_sites=4, surface_site_count=1, max_records=40, seed=7)
+        serial = DeepWebService.build().web(config).surfacing(SURFACING).create()
+        parallel = (
+            DeepWebService.build().web(config).surfacing(SURFACING)
+            .parallel(max_workers=2, batch_size=2).create()
+        )
+        serial_sites = serial.web.deep_sites()
+        parallel_sites = parallel.web.deep_sites()
+        serial.surface_many(serial_sites[:2])
+        serial.surface_many(serial_sites[2:])
+        parallel.surface_many(parallel_sites[:2])
+        parallel.surface_many(parallel_sites[2:])
+        assert [site_key(r) for r in serial.results] == [site_key(r) for r in parallel.results]

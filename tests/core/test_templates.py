@@ -124,3 +124,50 @@ class TestLatticeSearch:
 
     def test_no_values_no_templates(self, car_form, car_prober):
         assert selector(car_prober).select_templates(car_form, {}) == []
+
+
+class TestIndexBasedSamplingRegression:
+    """The deterministic index-based sampler (which replaced rejection
+    sampling) must stay seed-stable and fill near-full spaces exactly."""
+
+    def test_near_full_space_yields_exact_count_without_spinning(self, car_prober):
+        # Product of 11 barely exceeds the limit of 10 -- the old rejection
+        # loop could burn limit*10 attempts here; index sampling always
+        # produces exactly `limit` distinct bindings.
+        sel = selector(car_prober, probes_per_template=10)
+        values = {"a": [str(i) for i in range(11)]}
+        bindings = sel.sample_bindings(QueryTemplate(("a",)), values)
+        assert len(bindings) == 10
+        assert len({binding["a"] for binding in bindings}) == 10
+
+    def test_sample_is_deterministic_across_selectors(self, car_prober):
+        values = {
+            "a": [str(i) for i in range(25)],
+            "b": [str(i) for i in range(25)],
+        }
+        template = QueryTemplate(("a", "b"))
+        first = selector(car_prober).sample_bindings(template, values)
+        second = selector(car_prober).sample_bindings(template, values)
+        assert first == second
+        assert len(first) == 8
+        assert len({tuple(sorted(binding.items())) for binding in first}) == 8
+
+    def test_sample_depends_on_template_and_seed(self, car_prober):
+        values = {
+            "a": [str(i) for i in range(25)],
+            "b": [str(i) for i in range(25)],
+        }
+        base = selector(car_prober).sample_bindings(QueryTemplate(("a", "b")), values)
+        reseeded = selector(car_prober, rng=SeededRng("other-seed")).sample_bindings(
+            QueryTemplate(("a", "b")), values
+        )
+        assert base != reseeded
+
+    def test_bindings_follow_product_order(self, car_prober):
+        # Sampled positions are sorted, so bindings appear in the same
+        # order the full Cartesian product would enumerate them.
+        sel = selector(car_prober, probes_per_template=5)
+        values = {"a": [str(i) for i in range(30)]}
+        bindings = sel.sample_bindings(QueryTemplate(("a",)), values)
+        positions = [int(binding["a"]) for binding in bindings]
+        assert positions == sorted(positions)

@@ -1,0 +1,82 @@
+"""Unit tests for the perf registry and the observer bridge (tier-1 safe)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro import DeepWebService, SurfacingConfig, WebConfig
+from repro.perf import PerfObserver, PerfRegistry, default_registry
+
+
+class TestPerfRegistry:
+    def test_counters_accumulate(self):
+        registry = PerfRegistry()
+        registry.increment("probes")
+        registry.increment("probes", 4)
+        assert registry.counter("probes") == 5
+        assert registry.counter("unknown") == 0
+
+    def test_timers_accumulate_calls_and_seconds(self):
+        registry = PerfRegistry()
+        with registry.timer("stage"):
+            pass
+        registry.record_seconds("stage", 0.25)
+        assert registry.timer_calls("stage") == 2
+        assert registry.timer_seconds("stage") >= 0.25
+
+    def test_timer_records_on_exception(self):
+        registry = PerfRegistry()
+        try:
+            with registry.timer("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert registry.timer_calls("failing") == 1
+
+    def test_as_dict_shape_and_reset(self):
+        registry = PerfRegistry()
+        registry.increment("a")
+        registry.record_seconds("t", 0.5)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"a": 1}
+        assert snapshot["timers"]["t"]["calls"] == 1
+        registry.reset()
+        assert registry.as_dict() == {"counters": {}, "timers": {}}
+
+    def test_thread_safety_of_increments(self):
+        registry = PerfRegistry()
+
+        def spin():
+            for _ in range(2000):
+                registry.increment("shared")
+                registry.record_seconds("shared-timer", 0.0)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("shared") == 8000
+        assert registry.timer_calls("shared-timer") == 8000
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+
+class TestPerfObserver:
+    def test_observer_collects_stage_and_site_metrics(self):
+        registry = PerfRegistry()
+        service = (
+            DeepWebService.build()
+            .web(WebConfig(total_deep_sites=2, surface_site_count=1, max_records=40, seed=3))
+            .surfacing(SurfacingConfig(max_urls_per_form=60))
+            .observer(PerfObserver(registry))
+            .create()
+        )
+        service.surface()
+        assert registry.counter("sites.surfaced") == 2
+        assert registry.counter("urls.indexed") > 0
+        assert registry.timer_calls("site.surface") == 2
+        snapshot = registry.as_dict()
+        stage_timers = [name for name in snapshot["timers"] if name.startswith("stage.")]
+        assert "stage.discover-forms" in stage_timers

@@ -1,0 +1,72 @@
+"""Opt-in perf regression smoke tests (scripts/perf.sh, REPRO_PERF=1).
+
+Timing assertions are inherently machine-sensitive, so these are excluded
+from tier-1: they run only under the ``perf`` marker with generous
+thresholds, catching order-of-magnitude regressions rather than noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import DeepWebService, SurfacingConfig, WebConfig
+from repro.core.informativeness import (
+    SignatureCache,
+    default_signature_cache,
+    set_default_signature_cache,
+)
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_PERF"),
+        reason="perf regression tests are opt-in (REPRO_PERF=1 or scripts/perf.sh)",
+    ),
+]
+
+
+def timed_surface(cached: bool) -> tuple[float, int]:
+    previous = set_default_signature_cache(
+        SignatureCache() if cached else SignatureCache(max_entries=0)
+    )
+    try:
+        service = (
+            DeepWebService.build()
+            .web(WebConfig(total_deep_sites=6, surface_site_count=1, max_records=120, seed=5))
+            .surfacing(SurfacingConfig(max_urls_per_form=120))
+            .create()
+        )
+        service.crawl(max_pages=300)
+        started = time.perf_counter()
+        results = service.surface()
+        return time.perf_counter() - started, sum(r.urls_indexed for r in results)
+    finally:
+        set_default_signature_cache(previous)
+
+
+class TestPerfSmoke:
+    def test_signature_cache_speeds_up_surfacing(self):
+        uncached_seconds, uncached_urls = timed_surface(cached=False)
+        cached_seconds, cached_urls = timed_surface(cached=True)
+        assert cached_urls == uncached_urls
+        # Generous bound: caching must never make surfacing meaningfully slower.
+        assert cached_seconds < uncached_seconds * 1.1
+
+    def test_cache_hit_rate_is_substantial(self):
+        previous = set_default_signature_cache(SignatureCache())
+        try:
+            service = (
+                DeepWebService.build()
+                .web(WebConfig(total_deep_sites=4, surface_site_count=1, max_records=80, seed=3))
+                .surfacing(SurfacingConfig(max_urls_per_form=80))
+                .create()
+            )
+            service.surface()
+            stats = default_signature_cache().stats()
+            assert stats["hits"] + stats["misses"] > 0
+            assert stats["hit_rate"] > 0.3
+        finally:
+            set_default_signature_cache(previous)

@@ -1,0 +1,110 @@
+"""The optimized BM25 paths must match a naive reference bit for bit."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.search.inverted_index import InvertedIndex
+
+
+def naive_score(index: InvertedIndex, docs: dict[int, list[str]], query, limit=None):
+    """The textbook (seed) implementation: no idf cache, no norm cache,
+    full sort, everything recomputed per hit."""
+    n = len(docs)
+    average_length = sum(len(tokens) for tokens in docs.values()) / n if n else 0.0
+    accumulator = defaultdict(float)
+    for term in query:
+        df = sum(1 for tokens in docs.values() if term in tokens)
+        if df == 0 or n == 0:
+            continue
+        idf = max(0.01, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+        for doc_id, tokens in docs.items():
+            frequency = tokens.count(term)
+            if not frequency:
+                continue
+            length_norm = 1 - index.b + index.b * (
+                len(tokens) / average_length if average_length else 1.0
+            )
+            tf = (frequency * (index.k1 + 1)) / (frequency + index.k1 * length_norm)
+            accumulator[doc_id] += idf * tf
+    ranked = sorted(accumulator.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:limit] if limit is not None else ranked
+
+
+@pytest.fixture(scope="module")
+def indexed_corpus():
+    rng = random.Random(29)
+    vocabulary = [f"term{i}" for i in range(70)]
+    index = InvertedIndex()
+    docs: dict[int, list[str]] = {}
+    for doc_id in range(1, 121):
+        tokens = [rng.choice(vocabulary) for _ in range(rng.randint(2, 40))]
+        docs[doc_id] = tokens
+        index.add_document(doc_id, tokens)
+    return index, docs, vocabulary
+
+
+class TestOptimizedVsNaive:
+    def test_scores_bit_identical_across_random_queries(self, indexed_corpus):
+        index, docs, vocabulary = indexed_corpus
+        rng = random.Random(31)
+        for _ in range(150):
+            query = [rng.choice(vocabulary) for _ in range(rng.randint(1, 5))]
+            limit = rng.choice([None, 1, 3, 10, 500])
+            assert index.score(query, limit=limit) == naive_score(index, docs, query, limit)
+
+    def test_topk_equals_truncated_full_sort(self, indexed_corpus):
+        index, _docs, vocabulary = indexed_corpus
+        query = vocabulary[:4]
+        assert index.score(query, limit=7) == index.score(query, limit=None)[:7]
+
+    def test_duplicate_query_terms_contribute_twice(self, indexed_corpus):
+        index, docs, _vocabulary = indexed_corpus
+        term = next(iter(docs[1]))
+        assert index.score([term, term]) == naive_score(index, docs, [term, term])
+
+    def test_caches_invalidated_on_mutation(self, indexed_corpus):
+        index, docs, _vocabulary = indexed_corpus
+        term = next(iter(docs[1]))
+        before = index.score([term])
+        docs[999] = [term, term, "freshterm"]
+        index.add_document(999, docs[999])
+        after = index.score([term])
+        assert after != before
+        assert after == naive_score(index, docs, [term])
+        assert index.score(["freshterm"]) == naive_score(index, docs, ["freshterm"])
+        # idf of an unseen term stays 0 and is not poisoned by the cache
+        assert index.idf("never-indexed") == 0.0
+
+
+class TestMatchingDocuments:
+    def test_union_and_intersection_match_reference(self, indexed_corpus):
+        index, docs, vocabulary = indexed_corpus
+        rng = random.Random(37)
+        for _ in range(100):
+            query = [rng.choice(vocabulary) for _ in range(rng.randint(1, 4))]
+            per_term = [
+                {doc_id for doc_id, tokens in docs.items() if term in tokens}
+                for term in query
+            ]
+            union = set().union(*per_term)
+            intersection = set.intersection(*per_term)
+            assert index.matching_documents(query) == union
+            assert index.matching_documents(query, require_all=True) == intersection
+
+    def test_missing_term_short_circuits_intersection(self, indexed_corpus):
+        index, _docs, vocabulary = indexed_corpus
+        assert index.matching_documents([vocabulary[0], "nosuchterm"], require_all=True) == set()
+        assert index.matching_documents(["nosuchterm"]) == set()
+        assert index.matching_documents([], require_all=True) == set()
+        assert index.matching_documents([]) == set()
+
+    def test_result_sets_are_fresh_copies(self, indexed_corpus):
+        index, _docs, vocabulary = indexed_corpus
+        first = index.matching_documents([vocabulary[0]])
+        first.add(-1)
+        assert -1 not in index.matching_documents([vocabulary[0]])
