@@ -12,7 +12,12 @@ Most users need only the top-level facade:
 The package implements, over a fully simulated web:
 
 * ``repro.api`` -- the :class:`DeepWebService` facade (build / crawl /
-  surface / search / report) with batched scheduling.
+  surface / search / report) with batched scheduling and cross-corpus
+  ``search_all``.
+* ``repro.store`` -- the unified content store: the ``IngestRecord``
+  write model, the ``Ingestor`` seam every content layer produces
+  through, and pluggable storage backends (in-memory, hash-sharded with
+  fan-out/merge search).
 * ``repro.pipeline`` -- the staged surfacing pipeline: seven pluggable
   stages, a shared context, and observer hooks for metrics and progress.
 * ``repro.relational`` -- the in-memory relational engine backing every
@@ -63,6 +68,14 @@ from repro.pipeline import (
 )
 from repro.search.crawler import Crawler
 from repro.search.engine import SOURCE_SURFACED, SearchEngine
+from repro.store import (
+    IngestRecord,
+    Ingestor,
+    InMemoryBackend,
+    ShardedBackend,
+    StorageBackend,
+    StoreStats,
+)
 from repro.webspace.sitegen import WebConfig, generate_web
 from repro.webspace.web import Web
 
@@ -96,4 +109,11 @@ __all__ = [
     "SearchEngine",
     "SOURCE_SURFACED",
     "Crawler",
+    # unified content store
+    "IngestRecord",
+    "Ingestor",
+    "StorageBackend",
+    "StoreStats",
+    "InMemoryBackend",
+    "ShardedBackend",
 ]

@@ -23,6 +23,12 @@ the serial default, and :class:`ParallelSurfacingScheduler`, which fans a
 batch of sites out over a thread pool while producing results, index
 contents and observer events identical to the serial run (select it with
 ``DeepWebService.build().parallel()``).
+
+Storage is pluggable through the unified content store: pass
+``.store(ShardedBackend(4))`` on the builder to hash-partition the index
+across shards (rankings stay identical to the in-memory default), and use
+``search_all()`` for a cross-corpus query that ranks surfaced pages,
+crawled pages and harvested webtables in one result list.
 """
 
 from __future__ import annotations
@@ -32,17 +38,27 @@ from dataclasses import dataclass, field
 from typing import IO, Iterable, Mapping, Sequence
 
 from repro.core.surfacer import SiteSurfacingResult, SurfacingConfig
+from repro.htmlparse.forms import extract_forms
 from repro.pipeline.observer import MetricsObserver, PipelineObserver, ProgressObserver
 from repro.pipeline.pipeline import SurfacingPipeline
 from repro.pipeline.stages import Stage
 from repro.search.crawler import CrawlStats, Crawler
-from repro.search.engine import SOURCE_SURFACE, SearchEngine, SearchResult
+from repro.search.engine import (
+    SOURCE_SURFACE,
+    SOURCE_VERTICAL,
+    SOURCE_WEBTABLE,
+    SearchEngine,
+    SearchResult,
+)
+from repro.store.backend import StorageBackend
+from repro.store.records import IngestRecord
 from repro.util.text import tokenize
+from repro.webspace.loadmeter import AGENT_WEBTABLES
 from repro.webspace.page import WebPage
 from repro.webspace.site import DeepWebSite
 from repro.webspace.sitegen import WebConfig, generate_web
-from repro.webspace.url import Url
 from repro.webspace.web import Web
+from repro.webtables.corpus import TableCorpus
 
 
 class SurfacingScheduler:
@@ -90,17 +106,18 @@ class _SiteEngineRecorder:
     """An engine stand-in for one parallel surfacing worker.
 
     During a parallel batch the shared :class:`SearchEngine` is frozen;
-    each worker records its would-be inserts here (pages analyzed and
-    tokenized once, off the main thread) and reads host-scoped term
-    frequencies as the union of the frozen base and its own local inserts.
-    Site hosts are unique, so this view is exactly what the serial run
-    would have seen.  ``replay`` applies the recorded inserts to the real
-    engine in deterministic site order.
+    each worker records its would-be inserts here as prepared
+    :class:`IngestRecord` batches (pages analyzed and tokenized once, off
+    the main thread) and reads host-scoped term frequencies as the union
+    of the frozen base and its own local inserts.  Site hosts are unique,
+    so this view is exactly what the serial run would have seen.
+    ``replay`` pushes the recorded batch through the engine's shared
+    :class:`~repro.store.ingest.Ingestor` in deterministic site order.
     """
 
     def __init__(self, base: SearchEngine) -> None:
         self._base = base
-        self._prepared: list[dict] = []
+        self._prepared: list[IngestRecord] = []
         self._local_ids: dict[str, int] = {}
         self._host_counts: dict[tuple[str, bool], dict[str, int]] = {}
 
@@ -120,24 +137,14 @@ class _SiteEngineRecorder:
         local = self._local_ids.get(page.url)
         if local is not None:
             return local
-        analysis = self._base.signature_cache.analyze(page.html)
-        tokens = tokenize(analysis.text)
-        if annotations:
-            for key, value in annotations.items():
-                tokens.extend(tokenize(f"{key} {value}"))
-        host = Url.parse(page.url).host
-        provisional = -(len(self._prepared) + 1)
-        self._prepared.append(
-            dict(
-                url=page.url,
-                host=host,
-                title=analysis.title,
-                text=analysis.text,
-                tokens=tokens,
-                source=source,
-                annotations=dict(annotations or {}),
-            )
+        # Preparation is the ingestor's single definition (same analysis
+        # cache, same annotation-token folding), so recorded records can
+        # never diverge from what the serial write path would store.
+        record = self._base.ingestor.prepare_page(
+            page, source=source, annotations=annotations
         )
+        provisional = -(len(self._prepared) + 1)
+        self._prepared.append(record)
         self._local_ids[page.url] = provisional
         self._host_counts = {}
         return provisional
@@ -148,17 +155,16 @@ class _SiteEngineRecorder:
         cached = self._host_counts.get(cache_key)
         if cached is None:
             cached = self._base.site_term_frequencies(host, drop_stopwords=drop_stopwords)
-            for payload in self._prepared:
-                if payload["host"] == host:
-                    for token in tokenize(payload["text"], drop_stopwords=drop_stopwords):
+            for record in self._prepared:
+                if record.host == host:
+                    for token in tokenize(record.text, drop_stopwords=drop_stopwords):
                         cached[token] = cached.get(token, 0) + 1
             self._host_counts[cache_key] = cached
         return dict(cached)
 
     def replay(self, engine: SearchEngine) -> None:
-        """Apply the recorded inserts to the shared engine, in order."""
-        for payload in self._prepared:
-            engine.add_prepared(**payload)
+        """Batch the recorded inserts through the shared ingestor, in order."""
+        engine.ingest_records(self._prepared)
 
 
 class _StageEventRecorder(PipelineObserver):
@@ -332,6 +338,7 @@ class DeepWebServiceBuilder:
         self._web: Web | None = None
         self._web_config: WebConfig | None = None
         self._engine: SearchEngine | None = None
+        self._store: StorageBackend | None = None
         self._surfacing: SurfacingConfig | None = None
         self._stages: Sequence[Stage] | None = None
         self._observers: list[PipelineObserver] = []
@@ -349,6 +356,13 @@ class DeepWebServiceBuilder:
 
     def engine(self, engine: SearchEngine) -> "DeepWebServiceBuilder":
         self._engine = engine
+        return self
+
+    def store(self, backend: StorageBackend) -> "DeepWebServiceBuilder":
+        """Back the service's search engine with a specific storage
+        backend (e.g. ``ShardedBackend(4)``); mutually exclusive with
+        supplying a fully built engine via :meth:`engine`."""
+        self._store = backend
         return self
 
     def surfacing(self, config: SurfacingConfig) -> "DeepWebServiceBuilder":
@@ -386,7 +400,12 @@ class DeepWebServiceBuilder:
 
     def create(self) -> "DeepWebService":
         web = self._web if self._web is not None else generate_web(self._web_config or WebConfig())
-        engine = self._engine if self._engine is not None else SearchEngine()
+        if self._engine is not None and self._store is not None:
+            raise ValueError("pass either engine() or store(), not both")
+        if self._engine is not None:
+            engine = self._engine
+        else:
+            engine = SearchEngine(backend=self._store) if self._store is not None else SearchEngine()
         metrics = MetricsObserver()
         pipeline = SurfacingPipeline(
             web,
@@ -418,6 +437,10 @@ class DeepWebService:
             self.pipeline.add_observer(self.metrics)
         self.results: list[SiteSurfacingResult] = []
         self.crawl_stats: CrawlStats | None = None
+        self._corpus: TableCorpus | None = None
+        self._harvested_urls: set[str] = set()
+        self._harvested_form_hosts: set[str] = set()
+        self._harvested_detail_counts: dict[str, int] = {}
 
     @classmethod
     def build(cls) -> DeepWebServiceBuilder:
@@ -436,6 +459,19 @@ class DeepWebService:
     @property
     def config(self) -> SurfacingConfig:
         return self.pipeline.config
+
+    @property
+    def store(self) -> StorageBackend:
+        """The storage backend every content layer writes into."""
+        return self.engine.backend
+
+    @property
+    def corpus(self) -> TableCorpus:
+        """The WebTables corpus, wired to the shared content store: every
+        table it admits also lands in the index as a ``webtable`` document."""
+        if self._corpus is None:
+            self._corpus = TableCorpus(ingestor=self.engine.ingestor)
+        return self._corpus
 
     # -- operations ---------------------------------------------------------
 
@@ -473,8 +509,103 @@ class DeepWebService:
         return self.surface_many([site])[0]
 
     def search(self, query: str, k: int = 10) -> list[SearchResult]:
-        """Query the shared index (crawled + surfaced documents)."""
+        """Query the shared index (crawled + surfaced documents, plus
+        whatever other layers -- webtables, vertical sources -- have
+        landed in the store)."""
         return self.engine.search(query, k=k)
+
+    def harvest_tables(self, detail_pages_per_site: int = 10) -> int:
+        """Mine the indexed web for WebTables raw material.
+
+        Each already-indexed page (crawled or surfaced) is re-fetched
+        under the ``webtables`` agent and run through the corpus'
+        relational-quality filter; admitted tables land in the shared
+        store as ``webtable`` documents.  Per deep site, homepage forms
+        contribute their schemata and a sample of detail pages
+        contributes attribute/value schema instances (the same raw
+        material :meth:`SemanticServer.from_web` assembles).  Incremental
+        and idempotent: pages already harvested are skipped, so repeated
+        calls only process content indexed since the last one -- and the
+        per-site detail budget accumulates across calls, so a later call
+        with a larger ``detail_pages_per_site`` fetches the difference.
+        Returns how many tables were admitted by this call.
+        """
+        admitted = 0
+        for doc in list(self.engine.documents()):
+            # Webtable docs are corpus output, and vertical-source docs
+            # alias homepages the site loop below already mines -- both
+            # would double-count corpus stats if re-fetched here.
+            if doc.source in (SOURCE_WEBTABLE, SOURCE_VERTICAL):
+                continue
+            if doc.url in self._harvested_urls:
+                continue
+            self._harvested_urls.add(doc.url)
+            page = self.web.fetch(doc.url, agent=AGENT_WEBTABLES)
+            admitted += self.corpus.add_page(page)
+        for site in self.web.deep_sites():
+            if site.host not in self._harvested_form_hosts:
+                self._harvested_form_hosts.add(site.host)
+                homepage = self.web.fetch(site.homepage_url(), agent=AGENT_WEBTABLES)
+                if homepage.ok:
+                    for form in extract_forms(homepage.html, page_url=homepage.url):
+                        self.corpus.add_form(form)
+            budget = detail_pages_per_site - self._harvested_detail_counts.get(site.host, 0)
+            for table in site.database.tables():
+                if budget <= 0:
+                    break
+                for key in table.primary_keys():
+                    if budget <= 0:
+                        break
+                    url = str(site.detail_url(key))
+                    if url in self._harvested_urls:
+                        continue
+                    self._harvested_urls.add(url)
+                    budget -= 1
+                    self._harvested_detail_counts[site.host] = (
+                        self._harvested_detail_counts.get(site.host, 0) + 1
+                    )
+                    page = self.web.fetch(url, agent=AGENT_WEBTABLES)
+                    admitted += self.corpus.add_page(page)
+        return admitted
+
+    def search_all(
+        self, query: str, k: int = 20, min_per_source: int = 3
+    ) -> list[SearchResult]:
+        """Cross-corpus search: one BM25-ranked list over every route.
+
+        Surfaced pages, crawled pages, webtable documents and any
+        registered vertical sources are ranked together -- the paper's
+        "one searchable index" end state.  Webtables are harvested from
+        the indexed pages first (incrementally), so the structured route
+        is populated before ranking.
+
+        The returned list is the global top-k plus a representation
+        floor: every source tag that matches the query anywhere in the
+        ranking contributes at least ``min_per_source`` results (when it
+        has that many), so a route cannot disappear just because another
+        route dominates the head of the ranking.  The merged list stays
+        score-ordered (ties by doc id) and may exceed ``k`` by the few
+        floor entries; pass ``min_per_source=0`` for the pure top-k.
+        """
+        self.harvest_tables()
+        if min_per_source <= 0:
+            # Pure top-k: keep the backend's heap-based ranking path.
+            return self.engine.search(query, k=k)
+        # The representation floor needs to see where every matching
+        # source ranks, so this path ranks all matches.
+        full = self.engine.search(query, k=max(k, len(self.engine)))
+        top = full[:k]
+        counts: dict[str, int] = {}
+        for result in top:
+            counts[result.source] = counts.get(result.source, 0) + 1
+        extras = []
+        for result in full[k:]:
+            if counts.get(result.source, 0) < min_per_source:
+                counts[result.source] = counts.get(result.source, 0) + 1
+                extras.append(result)
+        if extras:
+            top = sorted(top + extras, key=lambda r: (-r.score, r.doc_id))
+        return top
 
     def result_for(self, host: str) -> SiteSurfacingResult | None:
         for result in self.results:

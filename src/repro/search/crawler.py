@@ -18,6 +18,7 @@ from typing import Iterable
 from repro.core.informativeness import SignatureCache, default_signature_cache
 from repro.htmlparse.links import resolve_links
 from repro.search.engine import SOURCE_DEEP_CRAWLED, SOURCE_SURFACE, SearchEngine
+from repro.store.ingest import Ingestor
 from repro.webspace.loadmeter import AGENT_CRAWLER
 from repro.webspace.site import DeepWebSite
 from repro.webspace.url import Url
@@ -45,10 +46,16 @@ class Crawler:
         engine: SearchEngine,
         agent: str = AGENT_CRAWLER,
         signature_cache: SignatureCache | None = None,
+        ingestor: Ingestor | None = None,
     ) -> None:
         self.web = web
         self.engine = engine
         self.agent = agent
+        # The crawl writes through the engine's ingestor by default, so
+        # crawled pages land in the same store as every other producer; a
+        # custom ingestor redirects the whole write path (e.g. tests, or a
+        # crawl feeding a secondary store).
+        self.ingestor = ingestor if ingestor is not None else engine.ingestor
         self._signature_cache = signature_cache
         self._visited: set[str] = set()
 
@@ -96,7 +103,7 @@ class Crawler:
                 continue
             source = self._source_for(url.host)
             analysis = self.signature_cache.analyze(page.html)
-            if self.engine.add_page(page, source=source) is not None:
+            if self.ingestor.ingest_page(page, source=source) is not None:
                 stats.indexed += 1
             if depth >= max_depth:
                 continue
@@ -114,7 +121,7 @@ class Crawler:
         if not page.ok:
             return False
         effective_source = source or self._source_for(parsed.host)
-        return self.engine.add_page(page, source=effective_source) is not None
+        return self.ingestor.ingest_page(page, source=effective_source) is not None
 
     def _source_for(self, host: str) -> str:
         try:

@@ -1,44 +1,41 @@
-"""The search engine: document store + inverted index + result ranking.
+"""The search engine: a ranking facade over the unified content store.
 
 Surfaced deep-web pages are added to the very same index as crawled surface
 pages and "appear in answers to web-search queries" like any other page --
 the essence of the surfacing approach.  Documents carry a ``source`` tag
-(surface crawl, deep-web crawl, surfaced) so experiments can attribute
-results, and optional semantic annotations (Section 5.1 of the paper) that
-an annotation-aware ranker can exploit.
+(surface crawl, deep-web crawl, surfaced, and now vertical-integration
+sources and webtables) so experiments can attribute results, and optional
+semantic annotations (Section 5.1 of the paper) that an annotation-aware
+ranker can exploit.
+
+Storage lives behind :class:`~repro.store.backend.StorageBackend` (the
+in-memory default reproduces the engine's historical behavior byte for
+byte; the sharded backend fans searches out and merges identical top-k
+lists back), and every write flows through one
+:class:`~repro.store.ingest.Ingestor`, which the crawler, the surfacing
+scheduler, the virtual-integration registry and the table corpus share.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-from repro.core.informativeness import SignatureCache, default_signature_cache
-from repro.search.inverted_index import InvertedIndex
+from repro.core.informativeness import SignatureCache
+from repro.store.backend import StorageBackend, StoreStats
+from repro.store.ingest import Ingestor
+from repro.store.records import (  # noqa: F401  (re-exported, historical home)
+    DEEP_WEB_SOURCES,
+    SOURCE_DEEP_CRAWLED,
+    SOURCE_SURFACE,
+    SOURCE_SURFACED,
+    SOURCE_VERTICAL,
+    SOURCE_WEBTABLE,
+    Document,
+    IngestRecord,
+)
 from repro.util.text import tokenize
 from repro.webspace.page import WebPage
-from repro.webspace.url import Url
-
-SOURCE_SURFACE = "surface"
-SOURCE_DEEP_CRAWLED = "deep-crawled"
-SOURCE_SURFACED = "surfaced"
-
-
-@dataclass
-class Document:
-    """One indexed page."""
-
-    doc_id: int
-    url: str
-    host: str
-    title: str
-    text: str
-    source: str
-    annotations: dict[str, str] = field(default_factory=dict)
-
-    @property
-    def is_deep_web(self) -> bool:
-        return self.source in (SOURCE_SURFACED, SOURCE_DEEP_CRAWLED)
 
 
 @dataclass(frozen=True)
@@ -54,42 +51,67 @@ class SearchResult:
 
 
 class SearchEngine:
-    """An IR-style keyword search engine over indexed pages."""
+    """An IR-style keyword search engine over the content store."""
 
     def __init__(
         self,
         k1: float = 1.5,
         b: float = 0.75,
         signature_cache: SignatureCache | None = None,
+        backend: StorageBackend | None = None,
     ) -> None:
-        self.k1 = k1
-        self.b = b
-        self._index = InvertedIndex(k1=k1, b=b)
-        self._documents: dict[int, Document] = {}
-        self._url_to_doc: dict[str, int] = {}
-        self._next_id = 1
-        self._signature_cache = signature_cache
+        if backend is None:
+            # Imported lazily: the backend modules import the inverted
+            # index through the ``repro.search`` package, whose __init__
+            # is mid-execution whenever this module loads first.
+            from repro.store.memory import InMemoryBackend
+
+            backend = InMemoryBackend(k1=k1, b=b)
+        # An explicit backend already owns its scoring parameters; mirror
+        # them so the engine's k1/b always describe the ranking in effect
+        # (passing different k1/b alongside a backend would otherwise be
+        # silently ignored).
+        self.k1 = getattr(backend, "k1", k1)
+        self.b = getattr(backend, "b", b)
+        self._backend = backend
+        self._ingestor = Ingestor(backend, signature_cache=signature_cache)
+        self._ingestor.add_listener(self._on_ingest)
         # host -> term counts, invalidated per host on ingestion; keyword
         # seeding asks for the same host's frequencies once per form, which
         # made this an O(pages x tokens) hot spot.
         self._host_terms: dict[tuple[str, bool], dict[str, int]] = {}
 
     @property
+    def backend(self) -> StorageBackend:
+        """The storage backend every read goes through."""
+        return self._backend
+
+    @property
+    def ingestor(self) -> Ingestor:
+        """The shared write path; other content layers (crawler, corpus,
+        vertical registry) produce through this same seam."""
+        return self._ingestor
+
+    @property
     def signature_cache(self) -> SignatureCache:
         """The analysis cache ``add_page`` reads (process default unless
         injected); share one cache with the prober/crawler that fetched the
         pages so indexing never re-parses them."""
-        if self._signature_cache is not None:  # empty caches are falsy
-            return self._signature_cache
-        return default_signature_cache()
+        return self._ingestor.signature_cache
 
     def __len__(self) -> int:
-        return len(self._documents)
+        return len(self._backend)
 
     def __contains__(self, url: str) -> bool:
-        return url in self._url_to_doc
+        return url in self._backend
 
     # -- ingestion ----------------------------------------------------------
+
+    def _on_ingest(self, record: IngestRecord, doc_id: int) -> None:
+        """Invalidate per-host read caches on every new write, no matter
+        which content layer produced it."""
+        self._host_terms.pop((record.host, True), None)
+        self._host_terms.pop((record.host, False), None)
 
     def add_page(
         self,
@@ -99,32 +121,10 @@ class SearchEngine:
     ) -> int | None:
         """Index one fetched page.
 
-        Non-200 pages and already-indexed URLs are skipped (returns None).
+        Non-200 pages and already-indexed URLs are skipped (returns None
+        or the existing doc id respectively).
         """
-        if not page.ok:
-            return None
-        if page.url in self._url_to_doc:
-            return self._url_to_doc[page.url]
-        # The single-pass analysis is usually already cached from the probe
-        # or crawl fetch that produced the page, so no re-parse happens here.
-        analysis = self.signature_cache.analyze(page.html)
-        tokens = tokenize(analysis.text)
-        if annotations:
-            # Annotations are indexed as additional tokens, which is how a
-            # production index would exploit structured hints without a new
-            # retrieval model.
-            for key, value in annotations.items():
-                tokens.extend(tokenize(f"{key} {value}"))
-        host = Url.parse(page.url).host
-        return self.add_prepared(
-            url=page.url,
-            host=host,
-            title=analysis.title,
-            text=analysis.text,
-            tokens=tokens,
-            source=source,
-            annotations=annotations,
-        )
+        return self._ingestor.ingest_page(page, source=source, annotations=annotations)
 
     def add_prepared(
         self,
@@ -137,61 +137,57 @@ class SearchEngine:
         annotations: Mapping[str, str] | None = None,
     ) -> int | None:
         """Index a pre-analyzed page (``tokens`` already include annotation
-        tokens).  Used by :meth:`add_page` and by schedulers that analyze
-        pages off the main index and replay the inserts deterministically."""
-        existing = self._url_to_doc.get(url)
-        if existing is not None:
-            return existing
-        doc_id = self._next_id
-        self._next_id += 1
-        self._index.add_document(doc_id, tokens)
-        self._documents[doc_id] = Document(
-            doc_id=doc_id,
-            url=url,
-            host=host,
-            title=title,
-            text=text,
-            source=source,
-            annotations=dict(annotations or {}),
+        tokens).  Used by :meth:`add_page` callers and by schedulers that
+        analyze pages off the main index and replay the inserts
+        deterministically."""
+        return self._ingestor.ingest(
+            IngestRecord(
+                url=url,
+                host=host,
+                title=title,
+                text=text,
+                tokens=tokens,
+                source=source,
+                annotations=dict(annotations or {}),
+            )
         )
-        self._url_to_doc[url] = doc_id
-        self._host_terms.pop((host, True), None)
-        self._host_terms.pop((host, False), None)
-        return doc_id
+
+    def ingest_records(self, records: Iterable[IngestRecord]) -> list[int]:
+        """Batch-write prepared records (the scheduler replay path)."""
+        return self._ingestor.ingest_batch(records)
 
     # -- lookup ---------------------------------------------------------------
 
     def document(self, doc_id: int) -> Document:
-        return self._documents[doc_id]
+        return self._backend.get(doc_id)
 
     def document_for_url(self, url: str) -> Document | None:
-        doc_id = self._url_to_doc.get(url)
-        return self._documents.get(doc_id) if doc_id is not None else None
+        return self._backend.document_for_url(url)
 
     def documents(self, source: str | None = None) -> list[Document]:
-        docs = list(self._documents.values())
-        if source is not None:
-            docs = [doc for doc in docs if doc.source == source]
-        return docs
+        return self._backend.documents(source=source)
 
     def documents_for_host(self, host: str) -> list[Document]:
-        return [doc for doc in self._documents.values() if doc.host == host]
+        return self._backend.documents_for_host(host)
 
     def count_by_source(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for doc in self._documents.values():
-            counts[doc.source] = counts.get(doc.source, 0) + 1
-        return counts
+        """Document counts per source tag, deterministically ordered
+        (sorted by source, backed by the store's stats)."""
+        return dict(self._backend.stats().by_source)
+
+    def store_stats(self) -> StoreStats:
+        """The backend's aggregate stats (doc counts, per-shard layout)."""
+        return self._backend.stats()
 
     # -- querying ---------------------------------------------------------------
 
     def search(self, query: str, k: int = 10) -> list[SearchResult]:
         """Rank documents for a keyword query (BM25)."""
         tokens = tokenize(query)
-        ranked = self._index.score(tokens, limit=k)
+        ranked = self._backend.search(tokens, limit=k)
         results = []
         for doc_id, score in ranked:
-            doc = self._documents[doc_id]
+            doc = self._backend.get(doc_id)
             results.append(
                 SearchResult(
                     doc_id=doc_id,
@@ -211,8 +207,8 @@ class SearchEngine:
     def matching_documents(self, query: str, require_all: bool = True) -> list[Document]:
         """Documents containing all (or any) query terms, unranked."""
         tokens = tokenize(query)
-        ids = self._index.matching_documents(tokens, require_all=require_all)
-        return [self._documents[doc_id] for doc_id in sorted(ids)]
+        ids = self._backend.matching_documents(tokens, require_all=require_all)
+        return [self._backend.get(doc_id) for doc_id in sorted(ids)]
 
     def site_term_frequencies(self, host: str, drop_stopwords: bool = True) -> dict[str, int]:
         """Term counts over all indexed pages of one host.
@@ -227,8 +223,16 @@ class SearchEngine:
         cached = self._host_terms.get(cache_key)
         if cached is None:
             cached = {}
-            for doc in self.documents_for_host(host):
+            for doc in self._backend.documents_for_host(host):
                 for token in tokenize(doc.text, drop_stopwords=drop_stopwords):
                     cached[token] = cached.get(token, 0) + 1
             self._host_terms[cache_key] = cached
         return dict(cached)
+
+    # -- compatibility ---------------------------------------------------------
+
+    @property
+    def _index(self):
+        """The in-memory backend's global inverted index (micro-benchmarks
+        reach for this; sharded backends have no single index)."""
+        return self._backend.index

@@ -5,7 +5,42 @@ from __future__ import annotations
 import heapq
 import math
 from collections import Counter, defaultdict
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
+
+
+def rank_accumulator(
+    accumulator: Mapping[int, float], limit: int | None = None
+) -> list[tuple[int, float]]:
+    """Order a score accumulator: descending score, ascending doc id.
+
+    The single definition of ranking order (including the heap-based
+    top-k fast path), shared by the global index and the sharded store's
+    merge so their orderings can never drift apart.
+    """
+    sort_key = lambda item: (-item[1], item[0])  # noqa: E731
+    if limit is not None and limit < len(accumulator):
+        return heapq.nsmallest(limit, accumulator.items(), key=sort_key)
+    ranked = sorted(accumulator.items(), key=sort_key)
+    if limit is not None:
+        ranked = ranked[:limit]
+    return ranked
+
+
+def bm25_idf(document_count: int, document_frequency: int) -> float:
+    """The BM25 idf formula with the non-negative floor.
+
+    Shared by the per-index cached path (:meth:`InvertedIndex.idf`) and by
+    sharded stores, which compute idf from corpus-wide document counts so
+    that fan-out scoring matches a single global index bit for bit.
+    """
+    if document_count == 0 or document_frequency == 0:
+        return 0.0
+    return max(
+        0.01,
+        math.log(
+            (document_count - document_frequency + 0.5) / (document_frequency + 0.5) + 1.0
+        ),
+    )
 
 
 class InvertedIndex:
@@ -31,7 +66,10 @@ class InvertedIndex:
         self._doc_lengths: dict[int, int] = {}
         self._total_length = 0
         self._idf_cache: dict[str, float] = {}
-        self._norm_cache: dict[int, float] | None = None
+        # Length norms cached per (average_length, index generation); the
+        # local scoring path and sharded stores (which supply the
+        # corpus-global average length) share this one definition.
+        self._external_norms: tuple[float, dict[int, float]] | None = None
 
     def __len__(self) -> int:
         return len(self._doc_lengths)
@@ -51,6 +89,11 @@ class InvertedIndex:
             return 0.0
         return self._total_length / len(self._doc_lengths)
 
+    @property
+    def total_length(self) -> int:
+        """Sum of indexed token counts (exact: integer accumulation)."""
+        return self._total_length
+
     # -- construction -------------------------------------------------------
 
     def add_document(self, doc_id: int, tokens: Sequence[str]) -> None:
@@ -65,30 +108,13 @@ class InvertedIndex:
         self._total_length += len(tokens)
         # Every cached idf and length norm depends on N and avgdl.
         self._idf_cache.clear()
-        self._norm_cache = None
+        self._external_norms = None
 
     # -- precomputed scoring ingredients ------------------------------------
 
     def _length_norms(self) -> dict[int, float]:
         """Per-document BM25 length norms, rebuilt once per index generation."""
-        norms = self._norm_cache
-        if norms is None:
-            average_length = self.average_length()
-            b = self.b
-            one_minus_b = 1 - b
-            if average_length:
-                # Same expression shape as the historical per-hit computation,
-                # so scores stay bit-identical to the unoptimized path.
-                norms = {
-                    doc_id: one_minus_b + b * (length / average_length)
-                    for doc_id, length in self._doc_lengths.items()
-                }
-            else:
-                norms = {
-                    doc_id: one_minus_b + b * 1.0 for doc_id in self._doc_lengths
-                }
-            self._norm_cache = norms
-        return norms
+        return self.norms_for_average_length(self.average_length())
 
     # -- querying -----------------------------------------------------------
 
@@ -100,14 +126,59 @@ class InvertedIndex:
         cached = self._idf_cache.get(term)
         if cached is not None:
             return cached
-        n = len(self._doc_lengths)
-        df = len(self._postings.get(term, ()))
-        if n == 0 or df == 0:
-            value = 0.0
-        else:
-            value = max(0.01, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+        value = bm25_idf(len(self._doc_lengths), len(self._postings.get(term, ())))
         self._idf_cache[term] = value
         return value
+
+    def norms_for_average_length(self, average_length: float) -> dict[int, float]:
+        """Per-document length norms against an external (global) avgdl.
+
+        Used by sharded stores: each shard norms its documents with the
+        corpus-wide average length, exactly as one global index would.
+        Cached until the index mutates or a different avgdl is requested.
+        """
+        cached = self._external_norms
+        if cached is not None and cached[0] == average_length:
+            return cached[1]
+        b = self.b
+        one_minus_b = 1 - b
+        if average_length:
+            norms = {
+                doc_id: one_minus_b + b * (length / average_length)
+                for doc_id, length in self._doc_lengths.items()
+            }
+        else:
+            norms = {doc_id: one_minus_b + b * 1.0 for doc_id in self._doc_lengths}
+        self._external_norms = (average_length, norms)
+        return norms
+
+    def accumulate(
+        self,
+        query_tokens: Sequence[str],
+        idf_by_term: Mapping[str, float],
+        average_length: float,
+        accumulator: dict[int, float],
+    ) -> None:
+        """Add this index's BM25 contributions into ``accumulator``.
+
+        idf values and the average document length are supplied by the
+        caller (computed over the whole corpus), so several shard indexes
+        accumulating into one dict reproduce a single global index's
+        scores exactly: a document lives in one shard, and its per-term
+        contributions are added in the same query-token order as
+        :meth:`score` would.
+        """
+        norms = self.norms_for_average_length(average_length)
+        k1 = self.k1
+        k1_plus_1 = k1 + 1
+        for term in query_tokens:
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = idf_by_term[term]
+            for doc_id, frequency in postings.items():
+                tf_component = (frequency * k1_plus_1) / (frequency + k1 * norms[doc_id])
+                accumulator[doc_id] = accumulator.get(doc_id, 0.0) + idf * tf_component
 
     def score(self, query_tokens: Iterable[str], limit: int | None = None) -> list[tuple[int, float]]:
         """BM25 scores for all documents matching at least one query term.
@@ -129,13 +200,7 @@ class InvertedIndex:
             for doc_id, frequency in postings.items():
                 tf_component = (frequency * k1_plus_1) / (frequency + k1 * norms[doc_id])
                 accumulator[doc_id] += idf * tf_component
-        sort_key = lambda item: (-item[1], item[0])  # noqa: E731
-        if limit is not None and limit < len(accumulator):
-            return heapq.nsmallest(limit, accumulator.items(), key=sort_key)
-        ranked = sorted(accumulator.items(), key=sort_key)
-        if limit is not None:
-            ranked = ranked[:limit]
-        return ranked
+        return rank_accumulator(accumulator, limit)
 
     def matching_documents(self, query_tokens: Iterable[str], require_all: bool = False) -> set[int]:
         """Doc ids containing any (or all) of the query terms.

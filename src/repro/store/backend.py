@@ -1,0 +1,88 @@
+"""The storage seam: what every content-store backend must provide.
+
+A backend owns document storage *and* the posting lists over the token
+streams it was given; the :class:`~repro.search.engine.SearchEngine`,
+the surfacing pipeline, the virtual-integration registry and the table
+corpus all write through an :class:`~repro.store.ingest.Ingestor` and
+read through these methods, so swapping the backend (in-memory, sharded,
+or something remote) never touches a content layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.store.records import Document, IngestRecord
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate facts about what a backend holds.
+
+    ``by_source`` is ordered by source tag (sorted), so renderings built
+    from it are deterministic regardless of ingestion interleaving.
+    ``shard_documents`` is empty for unsharded backends.
+    """
+
+    backend: str
+    documents: int
+    by_source: dict[str, int] = field(default_factory=dict)
+    shard_documents: tuple[int, ...] = ()
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Document + postings storage behind the unified content store."""
+
+    def __len__(self) -> int:
+        """Number of stored documents."""
+        ...
+
+    def __contains__(self, url: str) -> bool:
+        """Whether a document with this URL is stored."""
+        ...
+
+    def add(self, record: IngestRecord) -> int:
+        """Store a record, assign and return its doc id.
+
+        Re-adding a URL returns the existing doc id (no duplicate doc).
+        """
+        ...
+
+    def doc_id_for_url(self, url: str) -> int | None:
+        ...
+
+    def get(self, doc_id: int) -> Document:
+        """The stored document (raises ``KeyError`` for unknown ids)."""
+        ...
+
+    def document_for_url(self, url: str) -> Document | None:
+        ...
+
+    def documents(self, source: str | None = None) -> list[Document]:
+        """All documents (optionally one source), ascending doc id."""
+        ...
+
+    def documents_for_host(self, host: str) -> list[Document]:
+        """Documents of one host, ascending doc id."""
+        ...
+
+    def search(
+        self, query_tokens: Sequence[str], limit: int | None = None
+    ) -> list[tuple[int, float]]:
+        """BM25-ranked ``(doc_id, score)`` pairs (desc score, asc id)."""
+        ...
+
+    def matching_documents(
+        self, query_tokens: Iterable[str], require_all: bool = False
+    ) -> set[int]:
+        """Doc ids containing any (or all) of the query terms."""
+        ...
+
+    def count_by_source(self) -> dict[str, int]:
+        """Document counts per source tag, sorted by source."""
+        ...
+
+    def stats(self) -> StoreStats:
+        ...

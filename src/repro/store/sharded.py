@@ -1,0 +1,178 @@
+"""The hash-partitioned backend: N shards, fan-out search, global stats.
+
+Documents are routed to a shard by a stable hash of their URL (CRC32, so
+partitioning is independent of ``PYTHONHASHSEED`` and reproducible across
+runs); each shard owns its slice of the postings and the stored
+documents.  Searches fan out to every shard and merge the top-k back.
+
+Ranking is the interesting part: BM25 scores depend on corpus-global
+statistics (document count, average length, per-term document
+frequency), so per-shard scoring would drift from a single global index.
+The backend therefore aggregates those ingredients across shards first
+-- integer sums, so they are exact -- computes the idf per query term
+once, and lets each shard accumulate its documents' contributions with
+the shared ingredients.  A document lives in exactly one shard and its
+per-term contributions are added in query-token order, which makes the
+merged ranking *bit-identical* to :class:`~repro.store.memory.InMemoryBackend`
+(``tests/store/test_store_equivalence.py`` pins this at 4+ shards).
+
+Doc ids are assigned globally in ingestion order (1, 2, 3, ...) exactly
+like the in-memory backend, so equivalence extends to doc ids and to
+every id-ordered read.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Sequence
+
+from repro.search.inverted_index import InvertedIndex, bm25_idf, rank_accumulator
+from repro.store.backend import StoreStats
+from repro.store.records import Document, IngestRecord
+
+
+class _Shard:
+    """One partition: a private inverted index plus its documents."""
+
+    __slots__ = ("index", "documents")
+
+    def __init__(self, k1: float, b: float) -> None:
+        self.index = InvertedIndex(k1=k1, b=b)
+        self.documents: dict[int, Document] = {}
+
+
+def shard_of(url: str, shard_count: int) -> int:
+    """Stable URL -> shard routing (CRC32, hash-seed independent)."""
+    return zlib.crc32(url.encode("utf-8")) % shard_count
+
+
+class ShardedBackend:
+    """Hash-partitioned storage with merged top-k search."""
+
+    kind = "sharded"
+
+    def __init__(self, shard_count: int = 4, k1: float = 1.5, b: float = 0.75) -> None:
+        if shard_count <= 0:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        self.shard_count = shard_count
+        self.k1 = k1
+        self.b = b
+        self._shards = [_Shard(k1, b) for _ in range(shard_count)]
+        self._url_to_doc: dict[str, int] = {}
+        self._doc_to_shard: dict[int, int] = {}
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._doc_to_shard)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._url_to_doc
+
+    # -- writes --------------------------------------------------------------
+
+    def add(self, record: IngestRecord) -> int:
+        existing = self._url_to_doc.get(record.url)
+        if existing is not None:
+            return existing
+        doc_id = self._next_id
+        self._next_id += 1
+        shard_index = shard_of(record.url, self.shard_count)
+        shard = self._shards[shard_index]
+        shard.index.add_document(doc_id, record.tokens)
+        shard.documents[doc_id] = record.as_document(doc_id)
+        self._url_to_doc[record.url] = doc_id
+        self._doc_to_shard[doc_id] = shard_index
+        return doc_id
+
+    # -- reads ---------------------------------------------------------------
+
+    def doc_id_for_url(self, url: str) -> int | None:
+        return self._url_to_doc.get(url)
+
+    def get(self, doc_id: int) -> Document:
+        shard_index = self._doc_to_shard.get(doc_id)
+        if shard_index is None:
+            raise KeyError(doc_id)
+        return self._shards[shard_index].documents[doc_id]
+
+    def document_for_url(self, url: str) -> Document | None:
+        doc_id = self._url_to_doc.get(url)
+        return self.get(doc_id) if doc_id is not None else None
+
+    def documents(self, source: str | None = None) -> list[Document]:
+        docs: list[Document] = []
+        for shard in self._shards:
+            docs.extend(shard.documents.values())
+        if source is not None:
+            docs = [doc for doc in docs if doc.source == source]
+        docs.sort(key=lambda doc: doc.doc_id)
+        return docs
+
+    def documents_for_host(self, host: str) -> list[Document]:
+        docs = [
+            doc
+            for shard in self._shards
+            for doc in shard.documents.values()
+            if doc.host == host
+        ]
+        docs.sort(key=lambda doc: doc.doc_id)
+        return docs
+
+    # -- querying ------------------------------------------------------------
+
+    def search(
+        self, query_tokens: Sequence[str], limit: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Fan the query out to every shard and merge one ranked list.
+
+        Corpus-global scoring ingredients (N, avgdl as exact integer sums,
+        per-term df) are computed up front so every shard scores with the
+        same numbers a single global index would use.
+        """
+        tokens = list(query_tokens)
+        document_count = sum(len(shard.index) for shard in self._shards)
+        if document_count:
+            total_length = sum(shard.index.total_length for shard in self._shards)
+            average_length = total_length / document_count
+        else:
+            average_length = 0.0
+        idf_by_term: dict[str, float] = {}
+        for term in tokens:
+            if term in idf_by_term:
+                continue
+            frequency = sum(
+                shard.index.document_frequency(term) for shard in self._shards
+            )
+            idf_by_term[term] = bm25_idf(document_count, frequency)
+        accumulator: dict[int, float] = {}
+        for shard in self._shards:
+            shard.index.accumulate(tokens, idf_by_term, average_length, accumulator)
+        return rank_accumulator(accumulator, limit)
+
+    def matching_documents(
+        self, query_tokens: Iterable[str], require_all: bool = False
+    ) -> set[int]:
+        # A document lives wholly in one shard, so per-shard conjunction
+        # (or disjunction) followed by a union is exactly the global answer.
+        tokens = list(query_tokens)
+        matches: set[int] = set()
+        for shard in self._shards:
+            matches |= shard.index.matching_documents(tokens, require_all=require_all)
+        return matches
+
+    # -- stats ---------------------------------------------------------------
+
+    def count_by_source(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for shard in self._shards:
+            for doc in shard.documents.values():
+                counts[doc.source] = counts.get(doc.source, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            backend=self.kind,
+            documents=len(self),
+            by_source=self.count_by_source(),
+            shard_documents=tuple(len(shard.documents) for shard in self._shards),
+        )

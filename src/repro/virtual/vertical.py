@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.form_model import SurfacingForm, discover_forms
+from repro.store.ingest import Ingestor
+from repro.store.records import SOURCE_VERTICAL, IngestRecord
 from repro.util.text import tokenize
 from repro.virtual.matching import FormMapping, SchemaMatcher
 from repro.virtual.reformulation import Reformulator
@@ -61,6 +63,7 @@ class VerticalSearchEngine:
         domain: str | None = None,
         max_sources_per_query: int = 5,
         max_pages_per_source: int = 3,
+        ingestor: Ingestor | None = None,
     ) -> None:
         self.web = web
         self.domain = domain
@@ -69,6 +72,11 @@ class VerticalSearchEngine:
         self.matcher = SchemaMatcher()
         self.reformulator = Reformulator()
         self.router = Router()
+        # When wired to the shared content store, every accepted source is
+        # also written there as a ``vertical-source`` document, so the
+        # virtual route contributes to the same searchable index the
+        # surfacing and WebTables routes feed (the paper's closing point).
+        self._ingestor = ingestor
         self._sources: dict[str, RegisteredSource] = {}
 
     # -- source registration ----------------------------------------------------
@@ -109,7 +117,32 @@ class VerticalSearchEngine:
                 description=site.description,
             )
         )
+        self._emit_source_record(site, homepage.html, mapping)
         return mapping
+
+    def _emit_source_record(self, site: DeepWebSite, homepage_html: str, mapping: FormMapping) -> None:
+        """Land the accepted source in the shared content store (if wired).
+
+        The record keys on a ``#vertical-source`` fragment of the
+        homepage URL: distinct from the homepage document a crawl may
+        already have stored (so registration always lands), while
+        re-registering the same site still dedups to one record.
+        """
+        if self._ingestor is None:
+            return
+        analysis = self._ingestor.signature_cache.analyze(homepage_html)
+        text = analysis.text
+        self._ingestor.ingest(
+            IngestRecord(
+                url=f"{site.homepage_url()}#vertical-source",
+                host=site.host,
+                title=analysis.title or site.description,
+                text=text,
+                tokens=tokenize(text),
+                source=SOURCE_VERTICAL,
+                annotations={"domain": mapping.domain},
+            )
+        )
 
     def register_sites(self, sites: list[DeepWebSite]) -> int:
         """Register many sites; returns how many were accepted."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 AGENT_CRAWLER = "crawler"          # the search engine's regular web crawler
 AGENT_SURFACER = "surfacer"        # off-line form probing / surfacing
 AGENT_VIRTUAL = "virtual"          # query-time fetches by the virtual-integration engine
+AGENT_WEBTABLES = "webtables"      # off-line table harvesting into the content store
 AGENT_USER = "user"                # a user clicking through to fresh content
 
 

@@ -17,8 +17,11 @@ from typing import Iterable
 
 from repro.htmlparse.forms import ParsedForm
 from repro.htmlparse.tables import HtmlTable, extract_tables
-from repro.util.text import name_tokens
+from repro.store.ingest import Ingestor
+from repro.store.records import SOURCE_WEBTABLE, IngestRecord
+from repro.util.text import name_tokens, tokenize
 from repro.webspace.page import WebPage
+from repro.webspace.url import Url
 
 
 def normalize_attribute(name: str) -> str:
@@ -56,12 +59,26 @@ class CorpusStats:
     tables_admitted: int = 0
     detail_records: int = 0
     forms_seen: int = 0
+    page_errors: int = 0
+    table_errors: int = 0
 
 
 class TableCorpus:
-    """Accumulates relational tables and form schemata."""
+    """Accumulates relational tables and form schemata.
 
-    def __init__(self, min_rows: int = 2, min_columns: int = 2, max_columns: int = 30) -> None:
+    When constructed with an :class:`~repro.store.ingest.Ingestor`, every
+    admitted table (and every recorded form schema) is also written to
+    the shared content store as a ``webtable`` document, so structured
+    raw material is searchable alongside crawled and surfaced pages.
+    """
+
+    def __init__(
+        self,
+        min_rows: int = 2,
+        min_columns: int = 2,
+        max_columns: int = 30,
+        ingestor: Ingestor | None = None,
+    ) -> None:
         self.min_rows = min_rows
         self.min_columns = min_columns
         self.max_columns = max_columns
@@ -69,6 +86,7 @@ class TableCorpus:
         self.form_schemas: list[tuple[str, ...]] = []
         self.form_values: dict[str, list[str]] = {}
         self.stats = CorpusStats()
+        self._ingestor = ingestor
 
     def __len__(self) -> int:
         return len(self.tables)
@@ -76,21 +94,49 @@ class TableCorpus:
     # -- ingestion -----------------------------------------------------------
 
     def add_page(self, page: WebPage) -> int:
-        """Extract and admit tables from one page; returns how many were admitted."""
+        """Extract and admit tables from one page; returns how many were admitted.
+
+        A malformed table cannot abort the page: admission failures are
+        counted in ``stats.table_errors`` and the remaining tables are
+        still considered.
+        """
         if not page.ok:
             return 0
         self.stats.pages_seen += 1
         admitted = 0
-        for table in extract_tables(page.html, page_url=page.url):
+        try:
+            tables = list(extract_tables(page.html, page_url=page.url))
+        except Exception:
+            self.stats.page_errors += 1
+            return 0
+        for table in tables:
             self.stats.tables_seen += 1
-            corpus_table = self._admit(table, page.url)
+            try:
+                corpus_table = self._admit(table, page.url)
+            except Exception:
+                self.stats.table_errors += 1
+                continue
             if corpus_table is not None:
                 self.tables.append(corpus_table)
                 admitted += 1
+                self._emit_table_record(corpus_table, position=admitted)
         return admitted
 
-    def add_pages(self, pages: Iterable[WebPage]) -> int:
-        return sum(self.add_page(page) for page in pages)
+    def add_pages(self, pages: Iterable[WebPage]) -> list[int]:
+        """Admit tables from a batch of pages; returns per-page admit counts.
+
+        One malformed page cannot abort the batch: a page whose ingestion
+        raises contributes a count of 0 (tallied in ``stats.page_errors``)
+        and the remaining pages are still processed.
+        """
+        counts: list[int] = []
+        for page in pages:
+            try:
+                counts.append(self.add_page(page))
+            except Exception:
+                self.stats.page_errors += 1
+                counts.append(0)
+        return counts
 
     def add_form(self, form: ParsedForm) -> None:
         """Record a form's input-name schema and its select-menu values."""
@@ -113,6 +159,72 @@ class TableCorpus:
                 for option in spec.options:
                     if option and option not in values:
                         values.append(option)
+        self._emit_form_record(form, names)
+
+    # -- store emission ----------------------------------------------------------
+
+    @staticmethod
+    def _host_of(url: str, fallback: str = "webtables.corpus") -> str:
+        try:
+            host = Url.parse(url).host
+        except Exception:
+            return fallback
+        return host or fallback
+
+    def _emit_table_record(self, table: CorpusTable, position: int) -> None:
+        """Write one admitted table into the shared content store (if wired).
+
+        ``position`` is the table's 1-based admission index *within its
+        page*, so the record URL is stable across re-ingestions of the
+        same page and the store's URL dedup holds.
+        """
+        if self._ingestor is None:
+            return
+        base = table.source_url or "webtable://corpus"
+        url = f"{base}#table-{position}"
+        cells = " ".join(value for row in table.values for value in row if value)
+        text = f"{' '.join(table.attributes)} {cells}".strip()
+        self._ingestor.ingest(
+            IngestRecord(
+                url=url,
+                host=self._host_of(base),
+                title=f"table: {', '.join(table.attributes)}",
+                text=text,
+                tokens=tokenize(text),
+                source=SOURCE_WEBTABLE,
+                annotations={"kind": table.source_kind},
+            )
+        )
+
+    def _emit_form_record(self, form: ParsedForm, names: tuple[str, ...]) -> None:
+        """Write one form schema into the shared content store (if wired).
+
+        Emission mirrors admission: only schemata :meth:`add_form` itself
+        records (two or more attribute names) become store documents.
+        """
+        if self._ingestor is None or len(names) < 2:
+            return
+        base = form.page_url or form.action or "webtable://forms"
+        # Content-derived fragment: re-recording the same form dedups in
+        # the store instead of minting a new URL per call.
+        url = f"{base}#form-schema-{'-'.join(names)}"
+        select_values = " ".join(
+            " ".join(option for option in spec.options if option)
+            for spec in form.inputs
+            if spec.is_select and spec.options
+        )
+        text = f"{' '.join(names)} {select_values}".strip()
+        self._ingestor.ingest(
+            IngestRecord(
+                url=url,
+                host=self._host_of(base),
+                title=f"form schema: {', '.join(names)}",
+                text=text,
+                tokens=tokenize(text),
+                source=SOURCE_WEBTABLE,
+                annotations={"kind": "form"},
+            )
+        )
 
     # -- quality filter ----------------------------------------------------------
 

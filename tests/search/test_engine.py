@@ -51,6 +51,17 @@ class TestIngestion:
         counts = build_engine().count_by_source()
         assert counts == {SOURCE_SURFACE: 2, SOURCE_SURFACED: 1}
 
+    def test_count_by_source_ordering_is_sorted_regardless_of_ingestion(self):
+        # Ingest in reverse-alphabetical source order; the rendering order
+        # must still be sorted by source tag (backed by store stats), so
+        # reports are deterministic across ingestion interleavings.
+        engine = SearchEngine()
+        engine.add_page(page("http://s.com/1", "S", "body"), source="zeta")
+        engine.add_page(page("http://s.com/2", "S", "body"), source="alpha")
+        engine.add_page(page("http://s.com/3", "S", "body"), source="mid")
+        assert list(engine.count_by_source()) == ["alpha", "mid", "zeta"]
+        assert list(engine.store_stats().by_source) == ["alpha", "mid", "zeta"]
+
     def test_documents_filter_by_source_and_host(self):
         engine = build_engine()
         assert len(engine.documents(source=SOURCE_SURFACED)) == 1

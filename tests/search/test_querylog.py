@@ -110,3 +110,50 @@ class TestStreamExpansion:
         stream = list(expand_to_stream(log))
         assert len(stream) == 4
         assert sum(1 for query in stream if query.text == "a") == 3
+
+
+class TestLogBoundaries:
+    """Boundary behavior of the QueryLog views."""
+
+    def _log(self) -> QueryLog:
+        queries = [
+            Query(text="alpha", kind=KIND_HEAD, frequency=10, rank=1),
+            Query(text="bravo", kind=KIND_TAIL, frequency=5, rank=2),
+            Query(text="charlie", kind=KIND_TAIL, frequency=1, rank=3),
+        ]
+        return QueryLog(queries)
+
+    def test_head_zero_is_empty(self):
+        assert self._log().head(0) == []
+
+    def test_head_beyond_length_returns_everything(self):
+        log = self._log()
+        assert [q.text for q in log.head(99)] == ["alpha", "bravo", "charlie"]
+
+    def test_tail_skip_equal_to_length_is_empty(self):
+        log = self._log()
+        assert log.tail(len(log)) == []
+
+    def test_tail_skip_beyond_length_is_empty(self):
+        assert self._log().tail(100) == []
+
+    def test_tail_zero_returns_everything_in_rank_order(self):
+        log = self._log()
+        assert [q.text for q in log.tail(0)] == ["alpha", "bravo", "charlie"]
+
+    def test_by_kind_unknown_kind_is_empty(self):
+        assert self._log().by_kind("no-such-kind") == []
+
+    def test_by_kind_known_kinds(self):
+        log = self._log()
+        assert [q.text for q in log.by_kind(KIND_HEAD)] == ["alpha"]
+        assert [q.text for q in log.by_kind(KIND_TAIL)] == ["bravo", "charlie"]
+
+    def test_empty_log_boundaries(self):
+        empty = QueryLog([])
+        assert empty.head(0) == []
+        assert empty.head(5) == []
+        assert empty.tail(0) == []
+        assert empty.tail(5) == []
+        assert empty.by_kind(KIND_HEAD) == []
+        assert empty.total_volume == 0

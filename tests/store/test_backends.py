@@ -1,0 +1,166 @@
+"""Unit tests for the unified content store (records, ingestor, backends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import (
+    IngestRecord,
+    Ingestor,
+    InMemoryBackend,
+    ShardedBackend,
+    StorageBackend,
+)
+from repro.store.records import SOURCE_SURFACE, SOURCE_SURFACED, SOURCE_WEBTABLE
+from repro.store.sharded import shard_of
+from repro.webspace.page import WebPage
+
+
+def record(url: str, text: str, source: str = SOURCE_SURFACE) -> IngestRecord:
+    return IngestRecord(
+        url=url,
+        host="h.test",
+        title="t",
+        text=text,
+        tokens=text.split(),
+        source=source,
+    )
+
+
+def page(url: str, title: str, body: str, status: int = 200) -> WebPage:
+    html = f"<html><head><title>{title}</title></head><body><p>{body}</p></body></html>"
+    return WebPage(url=url, html=html, status=status)
+
+
+BACKENDS = [lambda: InMemoryBackend(), lambda: ShardedBackend(4)]
+
+
+@pytest.mark.parametrize("make_backend", BACKENDS, ids=["memory", "sharded"])
+class TestBackendContract:
+    def test_satisfies_protocol(self, make_backend):
+        assert isinstance(make_backend(), StorageBackend)
+
+    def test_sequential_doc_ids_and_dedup(self, make_backend):
+        backend = make_backend()
+        assert backend.add(record("u://1", "alpha")) == 1
+        assert backend.add(record("u://2", "bravo")) == 2
+        assert backend.add(record("u://1", "alpha again")) == 1  # dedup by URL
+        assert len(backend) == 2
+        assert "u://1" in backend and "u://3" not in backend
+        assert backend.doc_id_for_url("u://2") == 2
+        assert backend.doc_id_for_url("u://nope") is None
+
+    def test_get_and_document_for_url(self, make_backend):
+        backend = make_backend()
+        backend.add(record("u://1", "alpha"))
+        doc = backend.get(1)
+        assert doc.doc_id == 1 and doc.url == "u://1" and doc.text == "alpha"
+        assert backend.document_for_url("u://1").doc_id == 1
+        assert backend.document_for_url("u://nope") is None
+        with pytest.raises(KeyError):
+            backend.get(99)
+
+    def test_documents_are_doc_id_ordered(self, make_backend):
+        backend = make_backend()
+        for index in range(20):
+            backend.add(record(f"u://{index}", f"token{index}"))
+        assert [doc.doc_id for doc in backend.documents()] == list(range(1, 21))
+
+    def test_documents_filter_by_source_and_host(self, make_backend):
+        backend = make_backend()
+        backend.add(record("u://1", "alpha", source=SOURCE_SURFACED))
+        backend.add(record("u://2", "bravo"))
+        assert [d.doc_id for d in backend.documents(source=SOURCE_SURFACED)] == [1]
+        assert [d.doc_id for d in backend.documents_for_host("h.test")] == [1, 2]
+        assert backend.documents_for_host("other.test") == []
+
+    def test_search_and_matching(self, make_backend):
+        backend = make_backend()
+        backend.add(record("u://1", "toyota camry austin"))
+        backend.add(record("u://2", "honda civic austin"))
+        ranked = backend.search(["toyota"])
+        assert [doc_id for doc_id, _ in ranked] == [1]
+        assert backend.matching_documents(["austin"]) == {1, 2}
+        assert backend.matching_documents(["austin", "toyota"], require_all=True) == {1}
+        assert backend.search(["nosuchterm"]) == []
+
+    def test_count_by_source_is_sorted(self, make_backend):
+        backend = make_backend()
+        backend.add(record("u://1", "x", source="zeta"))
+        backend.add(record("u://2", "x", source="alpha"))
+        assert list(backend.count_by_source()) == ["alpha", "zeta"]
+        stats = backend.stats()
+        assert stats.documents == 2
+        assert list(stats.by_source) == ["alpha", "zeta"]
+
+
+class TestShardedSpecifics:
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError):
+            ShardedBackend(0)
+        with pytest.raises(ValueError):
+            ShardedBackend(-3)
+
+    def test_routing_is_stable_and_partitioned(self):
+        backend = ShardedBackend(4)
+        for index in range(40):
+            backend.add(record(f"u://doc/{index}", f"token{index}"))
+        stats = backend.stats()
+        assert sum(stats.shard_documents) == 40
+        assert len(stats.shard_documents) == 4
+        # CRC32 routing: same URL always lands on the same shard.
+        assert shard_of("u://doc/7", 4) == shard_of("u://doc/7", 4)
+        # With 40 distinct URLs, at least two shards must be populated.
+        assert sum(1 for count in stats.shard_documents if count) >= 2
+
+    def test_single_shard_degenerates_to_global(self):
+        single = ShardedBackend(1)
+        memory = InMemoryBackend()
+        for index in range(10):
+            single.add(record(f"u://{index}", f"alpha token{index}"))
+            memory.add(record(f"u://{index}", f"alpha token{index}"))
+        assert single.search(["alpha"], limit=5) == memory.search(["alpha"], limit=5)
+
+    def test_empty_store_search(self):
+        assert ShardedBackend(4).search(["anything"]) == []
+        assert ShardedBackend(4).matching_documents(["x"], require_all=True) == set()
+
+
+class TestIngestor:
+    def test_ingest_page_skips_error_pages(self):
+        ingestor = Ingestor(InMemoryBackend())
+        assert ingestor.ingest_page(page("u://1", "T", "body", status=404)) is None
+        assert len(ingestor.backend) == 0
+
+    def test_ingest_page_dedups_without_reanalysis(self):
+        backend = InMemoryBackend()
+        ingestor = Ingestor(backend)
+        first = ingestor.ingest_page(page("u://1", "T", "toyota"))
+        second = ingestor.ingest_page(page("u://1", "T", "toyota"))
+        assert first == second == 1
+        assert len(backend) == 1
+
+    def test_annotations_become_searchable_tokens(self):
+        backend = InMemoryBackend()
+        ingestor = Ingestor(backend)
+        ingestor.ingest_page(
+            page("u://1", "T", "body"), annotations={"domain": "government"}
+        )
+        assert backend.matching_documents(["government"]) == {1}
+        assert backend.get(1).annotations == {"domain": "government"}
+
+    def test_listeners_fire_only_for_new_documents(self):
+        ingestor = Ingestor(InMemoryBackend())
+        seen: list[tuple[str, int]] = []
+        ingestor.add_listener(lambda record, doc_id: seen.append((record.url, doc_id)))
+        ingestor.ingest(record("u://1", "alpha"))
+        ingestor.ingest(record("u://1", "alpha"))  # duplicate: no event
+        ingestor.ingest_batch([record("u://2", "bravo"), record("u://3", "charlie")])
+        assert seen == [("u://1", 1), ("u://2", 2), ("u://3", 3)]
+
+    def test_batch_returns_ids_in_order(self):
+        ingestor = Ingestor(InMemoryBackend())
+        ids = ingestor.ingest_batch(
+            [record("u://1", "a"), record("u://2", "b"), record("u://1", "a")]
+        )
+        assert ids == [1, 2, 1]

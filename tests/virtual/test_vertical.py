@@ -115,3 +115,65 @@ class TestKeywordQueries:
         answer = engine.keyword_query("moroccan chickpea stew recipe")
         assert not answer.answered
         assert answer.fetches_issued == 0
+
+
+class TestStoreEmission:
+    """Registered sources land in the shared content store."""
+
+    def test_register_site_emits_vertical_source_record(self):
+        from repro.store.records import SOURCE_VERTICAL
+
+        web = Web()
+        site = build_deep_site(domain("used_cars"), "cars.store.test", 40, SeededRng("vs"))
+        web.register(site)
+        search_engine = SearchEngine()
+        vertical = VerticalSearchEngine(
+            web, domain="used_cars", ingestor=search_engine.ingestor
+        )
+        assert vertical.register_site(site) is not None
+        docs = search_engine.documents(source=SOURCE_VERTICAL)
+        assert len(docs) == 1
+        assert docs[0].host == "cars.store.test"
+        assert docs[0].annotations["domain"] == "used_cars"
+        # The source description is searchable alongside everything else.
+        assert search_engine.search_hosts("used cars") == ["cars.store.test"]
+
+    def test_rejected_site_emits_nothing(self):
+        from repro.store.records import SOURCE_VERTICAL
+
+        web = Web()
+        books = build_deep_site(domain("books"), "books.store.test", 20, SeededRng("vb2"))
+        web.register(books)
+        search_engine = SearchEngine()
+        vertical = VerticalSearchEngine(
+            web, domain="used_cars", ingestor=search_engine.ingestor
+        )
+        assert vertical.register_site(books) is None
+        assert search_engine.documents(source=SOURCE_VERTICAL) == []
+
+    def test_unwired_engine_stays_storeless(self, car_vertical):
+        _web, engine, _sites, _accepted = car_vertical
+        assert engine._ingestor is None  # default: no store side effects
+
+    def test_source_record_lands_even_when_homepage_already_crawled(self):
+        from repro.store.records import SOURCE_VERTICAL
+        from repro.webspace.loadmeter import AGENT_CRAWLER
+
+        web = Web()
+        site = build_deep_site(domain("used_cars"), "cars.dedup.test", 40, SeededRng("vs3"))
+        web.register(site)
+        search_engine = SearchEngine()
+        homepage = web.fetch(site.homepage_url(), agent=AGENT_CRAWLER)
+        search_engine.add_page(homepage)  # the crawl got there first
+        vertical = VerticalSearchEngine(
+            web, domain="used_cars", ingestor=search_engine.ingestor
+        )
+        assert vertical.register_site(site) is not None
+        docs = search_engine.documents(source=SOURCE_VERTICAL)
+        assert len(docs) == 1  # distinct record URL: registration still lands
+        # Re-registration dedups to the same record.
+        vertical2 = VerticalSearchEngine(
+            web, domain="used_cars", ingestor=search_engine.ingestor
+        )
+        vertical2.register_site(site)
+        assert len(search_engine.documents(source=SOURCE_VERTICAL)) == 1

@@ -152,3 +152,110 @@ class TestAcsDb:
         assert acsdb.schema_count == 1
         assert acsdb.frequency("only") == 1
         assert acsdb.context_vector("only") == {}
+
+
+class TestBatchHardening:
+    """One malformed page or table must not abort a whole batch."""
+
+    def test_add_pages_returns_per_page_admit_counts(self):
+        corpus = TableCorpus()
+        counts = corpus.add_pages([HEADER_TABLE_PAGE, LOW_QUALITY_PAGE, DETAIL_PAGE])
+        assert counts == [1, 0, 1]
+        assert len(corpus) == 2
+
+    def test_add_pages_survives_a_page_that_raises(self, monkeypatch):
+        corpus = TableCorpus()
+        original = corpus.add_page
+
+        def exploding_add_page(page):
+            if page.url == "http://junk.test/":
+                raise RuntimeError("malformed page")
+            return original(page)
+
+        monkeypatch.setattr(corpus, "add_page", exploding_add_page)
+        counts = corpus.add_pages([HEADER_TABLE_PAGE, LOW_QUALITY_PAGE, DETAIL_PAGE])
+        assert counts == [1, 0, 1]
+        assert corpus.stats.page_errors == 1
+        assert len(corpus) == 2
+
+    def test_add_page_survives_a_table_that_raises(self, monkeypatch):
+        import repro.webtables.corpus as corpus_module
+
+        corpus = TableCorpus()
+        original_admit = TableCorpus._admit
+        calls = {"n": 0}
+
+        def exploding_admit(self, table, source_url):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("unadmittable table")
+            return original_admit(self, table, source_url)
+
+        monkeypatch.setattr(corpus_module.TableCorpus, "_admit", exploding_admit)
+        counts = corpus.add_pages([HEADER_TABLE_PAGE, DETAIL_PAGE])
+        # First table blew up but the batch kept going.
+        assert counts == [0, 1]
+        assert corpus.stats.table_errors == 1
+        assert len(corpus) == 1
+
+    def test_error_page_counts_as_zero(self):
+        corpus = TableCorpus()
+        counts = corpus.add_pages([WebPage(url="u", html="x", status=500), DETAIL_PAGE])
+        assert counts == [0, 1]
+
+
+class TestCorpusStoreEmission:
+    """Admitted tables and form schemata land in the shared content store."""
+
+    def _store(self):
+        from repro.store import InMemoryBackend, Ingestor
+
+        backend = InMemoryBackend()
+        return backend, Ingestor(backend)
+
+    def test_admitted_tables_become_webtable_documents(self):
+        from repro.store.records import SOURCE_WEBTABLE
+
+        backend, ingestor = self._store()
+        corpus = TableCorpus(ingestor=ingestor)
+        corpus.add_pages([HEADER_TABLE_PAGE, LOW_QUALITY_PAGE, DETAIL_PAGE])
+        docs = backend.documents(source=SOURCE_WEBTABLE)
+        assert len(docs) == 2  # the low-quality table is not admitted
+        assert docs[0].url == "http://data.test/t1#table-1"
+        assert docs[0].host == "data.test"
+        assert docs[0].annotations["kind"] == "html_table"
+        assert "toyota" in docs[0].text.lower()
+
+    def test_form_schema_becomes_webtable_document(self):
+        from repro.store.records import SOURCE_WEBTABLE
+
+        backend, ingestor = self._store()
+        corpus = TableCorpus(ingestor=ingestor)
+        corpus.add_form(sample_form())
+        docs = backend.documents(source=SOURCE_WEBTABLE)
+        assert len(docs) == 1
+        assert docs[0].annotations["kind"] == "form"
+        assert "make" in docs[0].text
+
+    def test_webtable_documents_are_searchable(self):
+        from repro.search.engine import SearchEngine
+        from repro.store.records import SOURCE_WEBTABLE
+
+        engine = SearchEngine()
+        corpus = TableCorpus(ingestor=engine.ingestor)
+        corpus.add_page(HEADER_TABLE_PAGE)
+        results = engine.search("toyota camry")
+        assert results and results[0].source == SOURCE_WEBTABLE
+
+    def test_reingesting_a_page_does_not_duplicate_store_documents(self):
+        from repro.store.records import SOURCE_WEBTABLE
+
+        backend, ingestor = self._store()
+        corpus = TableCorpus(ingestor=ingestor)
+        corpus.add_page(HEADER_TABLE_PAGE)
+        corpus.add_page(HEADER_TABLE_PAGE)  # same page again
+        corpus.add_form(sample_form())
+        corpus.add_form(sample_form())  # same form again
+        docs = backend.documents(source=SOURCE_WEBTABLE)
+        # Stable record URLs dedup in the store (1 table + 1 form schema).
+        assert len(docs) == 2
