@@ -28,6 +28,9 @@ The package implements, over a fully simulated web:
 * ``repro.htmlparse`` -- DOM construction and form/link/table extraction.
 * ``repro.search`` -- an inverted-index (BM25) search engine, a crawler and
   a power-law query-log generator.
+* ``repro.serve`` -- the query-serving frontend: worker pool with bounded
+  admission and load shedding, LRU+TTL result cache invalidated on
+  ingest, and seeded Zipf workload generation.
 * ``repro.core`` -- the paper's contribution: surfacing configuration and
   results, plus typed-input recognition, iterative probing, informative
   query templates, correlated inputs, URL generation with an indexability
@@ -68,6 +71,14 @@ from repro.pipeline import (
 )
 from repro.search.crawler import Crawler
 from repro.search.engine import SOURCE_SURFACED, SearchEngine
+from repro.serve import (
+    QueryFrontend,
+    QueryResultCache,
+    ServeStats,
+    WorkloadGenerator,
+    WorkloadOutcome,
+    WorkloadQuery,
+)
 from repro.store import (
     IngestRecord,
     Ingestor,
@@ -116,4 +127,11 @@ __all__ = [
     "StoreStats",
     "InMemoryBackend",
     "ShardedBackend",
+    # query serving
+    "QueryFrontend",
+    "QueryResultCache",
+    "ServeStats",
+    "WorkloadGenerator",
+    "WorkloadOutcome",
+    "WorkloadQuery",
 ]

@@ -50,6 +50,8 @@ from repro.search.engine import (
     SearchEngine,
     SearchResult,
 )
+from repro.serve.frontend import QueryFrontend, WorkloadOutcome
+from repro.serve.loadgen import WorkloadGenerator, WorkloadQuery
 from repro.store.backend import StorageBackend
 from repro.store.records import IngestRecord
 from repro.util.text import tokenize
@@ -343,6 +345,7 @@ class DeepWebServiceBuilder:
         self._stages: Sequence[Stage] | None = None
         self._observers: list[PipelineObserver] = []
         self._scheduler: SurfacingScheduler | None = None
+        self._serving: dict[str, object] = {}
 
     def web(self, web: Web | WebConfig) -> "DeepWebServiceBuilder":
         """Attach an existing :class:`Web` or a :class:`WebConfig` to generate one."""
@@ -398,6 +401,25 @@ class DeepWebServiceBuilder:
             ParallelSurfacingScheduler(max_workers=max_workers, batch_size=batch_size)
         )
 
+    def serving(
+        self,
+        workers: int = 4,
+        cache_size: int = 1024,
+        ttl_seconds: float | None = None,
+        queue_limit: int | None = None,
+    ) -> "DeepWebServiceBuilder":
+        """Configure the query-serving frontend (``service.frontend``):
+        worker-pool width, result-cache capacity and TTL, and the bounded
+        admission queue.  Without this call the frontend still exists,
+        with :class:`~repro.serve.frontend.QueryFrontend` defaults."""
+        self._serving = dict(
+            workers=workers,
+            cache_size=cache_size,
+            ttl_seconds=ttl_seconds,
+            queue_limit=queue_limit,
+        )
+        return self
+
     def create(self) -> "DeepWebService":
         web = self._web if self._web is not None else generate_web(self._web_config or WebConfig())
         if self._engine is not None and self._store is not None:
@@ -418,6 +440,7 @@ class DeepWebServiceBuilder:
             pipeline=pipeline,
             scheduler=self._scheduler or SurfacingScheduler(),
             metrics=metrics,
+            serving=self._serving,
         )
 
 
@@ -429,6 +452,7 @@ class DeepWebService:
         pipeline: SurfacingPipeline,
         scheduler: SurfacingScheduler | None = None,
         metrics: MetricsObserver | None = None,
+        serving: Mapping[str, object] | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.scheduler = scheduler or SurfacingScheduler()
@@ -441,6 +465,12 @@ class DeepWebService:
         self._harvested_urls: set[str] = set()
         self._harvested_form_hosts: set[str] = set()
         self._harvested_detail_counts: dict[str, int] = {}
+        #: (store doc count, detail budget) at the end of the last
+        #: harvest; lets repeated harvests over a settled corpus return
+        #: immediately instead of rescanning every document and site.
+        self._harvest_settled: tuple[int, int] | None = None
+        self._serving = dict(serving or {})
+        self._frontend: QueryFrontend | None = None
 
     @classmethod
     def build(cls) -> DeepWebServiceBuilder:
@@ -472,6 +502,19 @@ class DeepWebService:
         if self._corpus is None:
             self._corpus = TableCorpus(ingestor=self.engine.ingestor)
         return self._corpus
+
+    @property
+    def frontend(self) -> QueryFrontend:
+        """The query-serving frontend over the shared index: worker pool,
+        bounded admission queue, and a result cache invalidated on every
+        ingest (created lazily; configure with the builder's
+        :meth:`~DeepWebServiceBuilder.serving`).  A frontend the caller
+        closed (e.g. via ``with service.frontend:``) is replaced with a
+        fresh one on the next access, so the serving path never sticks
+        in a refused state."""
+        if self._frontend is None or self._frontend.closed:
+            self._frontend = QueryFrontend(self.engine, **self._serving)
+        return self._frontend
 
     # -- operations ---------------------------------------------------------
 
@@ -514,6 +557,29 @@ class DeepWebService:
         landed in the store)."""
         return self.engine.search(query, k=k)
 
+    def serve_workload(
+        self,
+        queries: Iterable[WorkloadQuery | str] | None = None,
+        count: int = 1000,
+        k: int = 10,
+        seed: int | str = "workload",
+        shed_on_overload: bool = False,
+    ) -> WorkloadOutcome:
+        """Replay a query workload through the serving frontend.
+
+        With ``queries=None`` a seeded Zipf stream of ``count`` requests
+        is drawn from :class:`~repro.serve.loadgen.WorkloadGenerator`
+        over this service's web -- fully reproducible for a fixed world
+        and ``seed``.  Results are byte-identical to calling
+        :meth:`search` per query; the returned outcome carries
+        :class:`~repro.serve.frontend.ServeStats` (throughput, cache hit
+        rate, latency percentiles)."""
+        if queries is None:
+            queries = WorkloadGenerator(self.web, seed=seed).stream(count, k=k)
+        return self.frontend.serve_workload(
+            queries, default_k=k, shed_on_overload=shed_on_overload
+        )
+
     def harvest_tables(self, detail_pages_per_site: int = 10) -> int:
         """Mine the indexed web for WebTables raw material.
 
@@ -529,7 +595,19 @@ class DeepWebService:
         per-site detail budget accumulates across calls, so a later call
         with a larger ``detail_pages_per_site`` fetches the difference.
         Returns how many tables were admitted by this call.
+
+        When the store has not grown since the previous harvest and the
+        detail budget is not larger, the call returns immediately -- a
+        read API like :meth:`search_all` can harvest-first on every
+        query without rescanning a settled corpus.
         """
+        settled = self._harvest_settled
+        if (
+            settled is not None
+            and settled[0] == len(self.engine)
+            and settled[1] >= detail_pages_per_site
+        ):
+            return 0
         admitted = 0
         for doc in list(self.engine.documents()):
             # Webtable docs are corpus output, and vertical-source docs
@@ -566,6 +644,10 @@ class DeepWebService:
                     )
                     page = self.web.fetch(url, agent=AGENT_WEBTABLES)
                     admitted += self.corpus.add_page(page)
+        self._harvest_settled = (
+            len(self.engine),
+            max(detail_pages_per_site, settled[1] if settled else 0),
+        )
         return admitted
 
     def search_all(
@@ -586,8 +668,20 @@ class DeepWebService:
         route dominates the head of the ranking.  The merged list stays
         score-ordered (ties by doc id) and may exceed ``k`` by the few
         floor entries; pass ``min_per_source=0`` for the pure top-k.
+
+        Boundary contract: ``k <= 0`` returns an empty list (the floor
+        tops up a requested ranking, it never manufactures one); a
+        source with fewer matches than the floor contributes exactly
+        what it has (no padding); an empty corpus or empty match set
+        returns an empty list; repeated calls return the identical,
+        stably ordered list.
         """
         self.harvest_tables()
+        if k <= 0:
+            # Without this, a floor > 0 would serve floor-only entries for
+            # k=0 and a negative k would slice the *end* off the full
+            # ranking (full[:k]) -- both nonsense answers.
+            return []
         if min_per_source <= 0:
             # Pure top-k: keep the backend's heap-based ranking path.
             return self.engine.search(query, k=k)

@@ -13,8 +13,12 @@ The report times the same seeded workload in several configurations:
 The in-tree runs are checked for byte-identical surfaced output (site
 results, index contents and the deterministic report rendering) before
 any number is written, so a speedup can never come from computing
-something else.  Two more sections cover the E5 URL-scaling workload and
-a BM25 micro-benchmark (full sort vs heap top-k on the same index).
+something else.  Three more sections cover the E5 URL-scaling workload,
+a BM25 micro-benchmark (full sort vs heap top-k on the same index), and
+the ``serve_qps`` scenario: a seeded 1k-query Zipf workload replayed
+through the :class:`~repro.serve.frontend.QueryFrontend` (worker pool +
+result cache), output-checked byte-identical against direct
+``engine.search`` calls before its throughput is reported.
 
 Usage (the console entry point installed by setup.py; the
 ``scripts/bench_report.py`` shim is equivalent for in-repo runs):
@@ -69,6 +73,8 @@ from repro.core.informativeness import (
 )
 from repro.datagen.domains import domain
 from repro.perf import PerfObserver, PerfRegistry
+from repro.serve.frontend import QueryFrontend
+from repro.serve.loadgen import WorkloadGenerator
 from repro.util.rng import SeededRng
 from repro.util.text import tokenize
 from repro.webspace.sitegen import build_deep_site
@@ -207,6 +213,7 @@ def run_surface_many(scale: str, parallel: bool, cached: bool, max_workers: int)
         elapsed = time.perf_counter() - started
         return {
             "seconds": elapsed,
+            "web": service.web,
             "results": normalized_results(results),
             "index": normalized_index(service.engine),
             "report_lines": service.report().lines(),
@@ -273,6 +280,48 @@ def run_bm25_micro(index_engine, queries: int = 300, k: int = 10):
     }
 
 
+def run_serve_qps(engine, web: Web, max_workers: int, queries: int = 1000, k: int = 10):
+    """The serving scenario: a seeded Zipf workload through the frontend.
+
+    The same stream is first answered by direct ``engine.search`` calls
+    (the uncached before number *and* the ground truth); the frontend
+    replay must match it byte for byte or the report aborts.  ``web`` is
+    the already-generated world the workload populations derive from
+    (only topology and databases are read).
+    """
+    workload = WorkloadGenerator(web, seed="bench-serve").stream(queries, k=k)
+
+    started = time.perf_counter()
+    direct = [engine.search(query.text, k=query.k) for query in workload]
+    direct_seconds = time.perf_counter() - started
+
+    frontend = QueryFrontend(engine, workers=max_workers, cache_size=4096)
+    try:
+        outcome = frontend.serve_workload(workload)
+    finally:
+        frontend.close()
+    if outcome.results != direct:
+        raise SystemExit("FATAL: frontend results diverged from direct engine.search")
+    stats = outcome.stats
+    if stats.cache_hit_rate <= 0.0:
+        raise SystemExit("FATAL: serve workload produced no cache hits (Zipf stream broken?)")
+    return {
+        "queries": stats.served,
+        "k": k,
+        "workers": max_workers,
+        "unique_queries": len({query.text for query in workload}),
+        "direct_seconds": round(direct_seconds, 3),
+        "frontend_seconds": round(stats.elapsed_seconds, 3),
+        "speedup": speedup(direct_seconds, stats.elapsed_seconds),
+        "qps": round(stats.qps, 1),
+        "cache_hit_rate": round(stats.cache_hit_rate, 4),
+        "shed": stats.shed,
+        "latency_p50_ms": round(stats.latency_p50 * 1000, 4),
+        "latency_p99_ms": round(stats.latency_p99 * 1000, 4),
+        "identical_to_direct_search": True,
+    }
+
+
 # -- report assembly --------------------------------------------------------------
 
 
@@ -283,17 +332,17 @@ def speedup(before: float, after: float) -> float | None:
 def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path) -> dict:
     seed = None
     if seed_ref:
-        print(f"[1/5] seed reference ({seed_ref}) on scale={scale!r} ...")
+        print(f"[1/6] seed reference ({seed_ref}) on scale={scale!r} ...")
         seed = run_seed_reference(seed_ref, scale, root)
         if seed:
             print(
                 f"      surface_many {seed['surface_many_seconds']:.2f}s, "
                 f"url_scaling {seed['url_scaling_seconds']:.2f}s"
             )
-    print(f"[2/5] baseline surface_many (serial, uncached) on scale={scale!r} ...")
+    print(f"[2/6] baseline surface_many (serial, uncached) on scale={scale!r} ...")
     baseline = run_surface_many(scale, parallel=False, cached=False, max_workers=max_workers)
     print(f"      {baseline['seconds']:.2f}s")
-    print("[3/5] optimized surface_many (cached; serial and parallel) ...")
+    print("[3/6] optimized surface_many (cached; serial and parallel) ...")
     optimized_serial = run_surface_many(scale, parallel=False, cached=True, max_workers=max_workers)
     optimized_parallel = run_surface_many(scale, parallel=True, cached=True, max_workers=max_workers)
     print(
@@ -310,18 +359,23 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         )
         if not identical:
             raise SystemExit(f"FATAL: optimized ({label}) output diverged from the baseline")
+    # Only the selected run's web feeds the serve scenario; don't pin the
+    # other two complete seeded worlds in memory for the rest of the build.
+    for run in (baseline, optimized_serial, optimized_parallel):
+        if run is not optimized:
+            run.pop("web", None)
     if seed and seed.get("urls_indexed") != sum(row[6] for row in optimized["results"]):
         print("      note: seed indexed a different URL count (expected when "
               "behaviour-changing satellites landed); speedups remain workload-level")
 
-    print("[4/5] url-scaling workload (uncached vs cached) ...")
+    print("[4/6] url-scaling workload (uncached vs cached) ...")
     scaling_before = run_url_scaling(cached=False)
     scaling_after = run_url_scaling(cached=True)
     if scaling_before["measurements"] != scaling_after["measurements"]:
         raise SystemExit("FATAL: cached url-scaling output diverged from uncached")
     print(f"      {scaling_before['seconds']:.2f}s -> {scaling_after['seconds']:.2f}s")
 
-    print("[5/5] BM25 micro-benchmark (full sort vs top-k) ...")
+    print("[5/6] BM25 micro-benchmark (full sort vs top-k) ...")
     # Rank over the optimized run's index contents, rebuilt fresh.
     engine = SearchEngine()
     for doc_id, url, host, title, text, source, annotations in optimized["index"]:
@@ -330,6 +384,13 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
             tokens=tokenize(text), source=source, annotations=dict(annotations),
         )
     bm25 = run_bm25_micro(engine)
+
+    print("[6/6] serve_qps (seeded Zipf workload through the frontend) ...")
+    serve = run_serve_qps(engine, optimized["web"], max_workers)
+    print(
+        f"      {serve['qps']:.0f} qps, cache hit rate {serve['cache_hit_rate']:.1%}, "
+        f"p99 {serve['latency_p99_ms']:.3f}ms"
+    )
 
     surface_before = seed["surface_many_seconds"] if seed else baseline["seconds"]
     scaling_seed = seed["url_scaling_seconds"] if seed else None
@@ -373,6 +434,7 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
             "urls_generated": [m[1] for m in scaling_after["measurements"]],
         },
         "bm25_topk": bm25,
+        "serve_qps": serve,
     }
 
 
@@ -428,6 +490,12 @@ def main(root: Path | None = None) -> None:
         f"bm25_topk: {report['bm25_topk'].get('full_sort_seconds', 0):.3f}s -> "
         f"{report['bm25_topk'].get('topk_seconds', 0):.3f}s over "
         f"{report['bm25_topk'].get('queries', 0)} queries"
+    )
+    serve = report["serve_qps"]
+    print(
+        f"serve_qps: {serve['qps']:.0f} qps over {serve['queries']} queries "
+        f"(cache hit rate {serve['cache_hit_rate']:.1%}, {serve['shed']} shed, "
+        "byte-identical to direct engine.search)"
     )
 
     if not args.dry_run:

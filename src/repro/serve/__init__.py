@@ -1,0 +1,43 @@
+"""The query-serving subsystem: the read path under production traffic.
+
+Everything the other layers ingest and shard is only useful if it can be
+*served* -- at volume, concurrently, with result caching and honest
+overload behavior.  This package provides:
+
+* :class:`QueryFrontend` -- a thread-pool request executor over the
+  shared :class:`~repro.search.engine.SearchEngine` with a bounded
+  admission queue, load shedding, and an LRU+TTL
+  :class:`QueryResultCache` invalidated automatically on every ingest;
+* :class:`ServeStats` / :class:`WorkloadOutcome` -- traffic counters,
+  latency percentiles and lossless workload replays;
+* :class:`WorkloadGenerator` -- seeded Zipf query streams over the
+  head/tail query log and the datagen vocabularies, so load and
+  equivalence tests replay bit-for-bit.
+
+Frontend results are byte-identical to calling ``engine.search``
+directly (``tests/serve/`` pins cached, concurrent and post-invalidation
+serving against the plain engine path).
+"""
+
+from repro.serve.cache import QueryResultCache, normalize_query
+from repro.serve.frontend import QueryFrontend, ServeStats, WorkloadOutcome
+from repro.serve.loadgen import (
+    KIND_VOCAB,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadQuery,
+    vocab_queries,
+)
+
+__all__ = [
+    "KIND_VOCAB",
+    "QueryFrontend",
+    "QueryResultCache",
+    "ServeStats",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadOutcome",
+    "WorkloadQuery",
+    "normalize_query",
+    "vocab_queries",
+]

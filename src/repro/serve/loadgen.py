@@ -1,0 +1,150 @@
+"""Deterministic load generation for the serving frontend.
+
+A load test is only evidence if it can be replayed: the generator draws
+a seeded Zipf stream over a fixed query population, so two runs with the
+same web and seed produce the *identical* sequence of queries -- which
+is what lets the equivalence tests pin cached, uncached and concurrent
+serving against each other, and what makes ``serve_qps`` numbers in
+``BENCH_surfacing.json`` comparable across machines.
+
+The population mirrors where real traffic would land across the three
+content routes:
+
+* **head/tail queries** from :class:`~repro.search.querylog.QueryLogGenerator`
+  -- head queries about surface-site topics (answered by crawled pages),
+  tail queries derived from individual deep-web records (answered by
+  surfaced pages);
+* **vocab queries** assembled from the ``repro.datagen`` vocabularies --
+  structured attribute combinations (make/model, amenity/city, agency
+  topics) of the kind WebTables documents answer.
+
+Frequencies follow a Zipf law over the ranked population (the paper's
+Section 3.2 long-tail shape), so a result cache sees realistic head
+re-hits while the tail stays cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.datagen import vocab
+from repro.search.querylog import (
+    KIND_HEAD,
+    KIND_TAIL,
+    QueryLogConfig,
+    QueryLogGenerator,
+)
+from repro.util.rng import SeededRng
+from repro.util.zipf import ZipfSampler
+from repro.webspace.web import Web
+
+KIND_VOCAB = "vocab"
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One request of a serving workload."""
+
+    text: str
+    k: int = 10
+    kind: str = KIND_HEAD
+    rank: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs for workload generation."""
+
+    zipf_exponent: float = 1.05
+    #: Cap on vocab-derived population entries (0 disables the route).
+    max_vocab_queries: int = 150
+    log: QueryLogConfig = field(default_factory=QueryLogConfig)
+
+
+def vocab_queries(limit: int = 150) -> list[str]:
+    """Structured attribute-combination queries from the datagen vocab.
+
+    Deterministic by construction (plain constants, fixed iteration
+    order); ``limit`` truncates the assembled list.
+    """
+    queries: list[str] = []
+    for make, models in vocab.CAR_MAKES_MODELS.items():
+        for model in models[:2]:
+            queries.append(f"used {make} {model}".lower())
+    for city in vocab.CITY_NAMES[:24]:
+        queries.append(f"apartment {city}".lower())
+    for topic in vocab.GOV_TOPICS[:16]:
+        queries.append(f"{topic} regulation")
+    for cuisine, ingredient in zip(vocab.CUISINES, vocab.INGREDIENTS):
+        queries.append(f"{cuisine} {ingredient} recipe")
+    for category in vocab.STORE_CATEGORIES[:8]:
+        queries.append(f"{category} store")
+    return queries[: max(0, limit)]
+
+
+class WorkloadGenerator:
+    """Builds seeded, replayable query streams over a simulated web."""
+
+    def __init__(
+        self,
+        web: Web,
+        seed: int | str = "workload",
+        config: WorkloadConfig | None = None,
+    ) -> None:
+        self.web = web
+        self.config = config or WorkloadConfig()
+        self._rng = SeededRng(seed)
+        self._population: list[WorkloadQuery] | None = None
+        self._stream_rng: SeededRng | None = None
+
+    def population(self) -> list[WorkloadQuery]:
+        """The ranked unique-query population (rank 1 = most popular).
+
+        Ranks come from a seeded shuffle of the merged head/tail/vocab
+        populations, so no route monopolizes the head of the Zipf curve.
+        Built once and cached; duplicate texts keep their best rank.
+        """
+        if self._population is not None:
+            return self._population
+        generator = QueryLogGenerator(self.web, self._rng.child("query-log"))
+        candidates: list[tuple[str, str]] = [
+            (query.text, KIND_HEAD) for query in generator.head_population(self.config.log)
+        ]
+        candidates += [
+            (query.text, KIND_TAIL) for query in generator.tail_population(self.config.log)
+        ]
+        candidates += [
+            (text, KIND_VOCAB) for text in vocab_queries(self.config.max_vocab_queries)
+        ]
+        seen: set[str] = set()
+        unique = []
+        for text, kind in self._rng.child("ranks").shuffle(candidates):
+            if text and text not in seen:
+                seen.add(text)
+                unique.append((text, kind))
+        self._population = [
+            WorkloadQuery(text=text, kind=kind, rank=rank)
+            for rank, (text, kind) in enumerate(unique, start=1)
+        ]
+        return self._population
+
+    def stream(self, count: int, k: int = 10) -> list[WorkloadQuery]:
+        """Draw a Zipf-weighted stream of ``count`` requests.
+
+        Popular ranks repeat (cache hits); the tail appears once or not
+        at all.  The same generator instance yields a continuing stream
+        across calls; a fresh generator with the same seed replays the
+        identical sequence from the start.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        population = self.population()
+        if not population or count == 0:
+            return []
+        sampler = ZipfSampler(n=len(population), exponent=self.config.zipf_exponent)
+        if self._stream_rng is None:
+            self._stream_rng = self._rng.child("stream")
+        return [
+            replace(population[sampler.sample_rank(self._stream_rng) - 1], k=k)
+            for _ in range(count)
+        ]

@@ -59,6 +59,15 @@ class Ingestor:
         """Subscribe to successful new-document ingests (cache invalidation)."""
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: IngestListener) -> None:
+        """Unsubscribe (no-op when not subscribed): read-side caches that
+        are torn down must not be kept alive -- and invoked on every
+        write -- by the ingestor."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     # -- writes --------------------------------------------------------------
 
     def ingest(self, record: IngestRecord) -> int:

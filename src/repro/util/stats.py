@@ -44,6 +44,33 @@ def share_of_top(values: Sequence[float], top: int) -> float:
     return shares[index]
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches the "linear" (inclusive) convention: the serving layer uses
+    this for latency p50/p90/p99.  Raises ``ValueError`` on empty input
+    or an out-of-range ``q``.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (q / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    low_value, high_value = ordered[lower], ordered[upper]
+    if low_value == high_value:
+        # Skip the interpolation: a*(1-f) + a*f can drift an ulp off a.
+        return float(low_value)
+    fraction = position - lower
+    return low_value * (1.0 - fraction) + high_value * fraction
+
+
 def gini(values: Sequence[float]) -> float:
     """Gini coefficient of a non-negative distribution (0 = equal, ->1 = concentrated)."""
     ordered = sorted(values)

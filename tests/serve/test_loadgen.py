@@ -1,0 +1,77 @@
+"""WorkloadGenerator: seeded, replayable Zipf query streams."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.search.querylog import KIND_HEAD, KIND_TAIL
+from repro.serve.loadgen import (
+    KIND_VOCAB,
+    WorkloadConfig,
+    WorkloadGenerator,
+    vocab_queries,
+)
+from repro.webspace.web import Web
+
+
+@pytest.fixture(scope="module")
+def generator(small_web) -> WorkloadGenerator:
+    return WorkloadGenerator(small_web, seed="loadgen-test")
+
+
+class TestPopulation:
+    def test_population_is_unique_and_rank_ordered(self, generator):
+        population = generator.population()
+        texts = [query.text for query in population]
+        assert len(texts) == len(set(texts))
+        assert [query.rank for query in population] == list(range(1, len(population) + 1))
+
+    def test_population_covers_all_three_routes(self, generator):
+        kinds = {query.kind for query in generator.population()}
+        assert kinds == {KIND_HEAD, KIND_TAIL, KIND_VOCAB}
+
+    def test_vocab_queries_deterministic_and_bounded(self):
+        assert vocab_queries(150) == vocab_queries(150)
+        assert len(vocab_queries(10)) == 10
+        assert vocab_queries(0) == []
+        assert "used toyota camry" in vocab_queries(150)
+
+    def test_vocab_route_can_be_disabled(self, small_web):
+        config = WorkloadConfig(max_vocab_queries=0)
+        generator = WorkloadGenerator(small_web, seed="no-vocab", config=config)
+        assert KIND_VOCAB not in {query.kind for query in generator.population()}
+
+
+class TestStream:
+    def test_same_seed_replays_identical_stream(self, small_web):
+        first = WorkloadGenerator(small_web, seed="replay").stream(400, k=10)
+        second = WorkloadGenerator(small_web, seed="replay").stream(400, k=10)
+        assert first == second
+
+    def test_different_seeds_differ(self, small_web):
+        first = WorkloadGenerator(small_web, seed="a").stream(400)
+        second = WorkloadGenerator(small_web, seed="b").stream(400)
+        assert first != second
+
+    def test_stream_is_zipf_shaped(self, generator):
+        stream = generator.stream(1000)
+        counts = Counter(query.text for query in stream)
+        assert len(counts) < 1000, "popular queries must repeat"
+        top_share = sum(count for _, count in counts.most_common(10)) / 1000
+        assert top_share > 0.15, "the head must carry a disproportionate share"
+
+    def test_k_is_propagated(self, generator):
+        assert all(query.k == 25 for query in generator.stream(50, k=25))
+
+    def test_boundaries(self, generator):
+        assert generator.stream(0) == []
+        with pytest.raises(ValueError):
+            generator.stream(-1)
+
+    def test_empty_web_yields_empty_stream(self):
+        generator = WorkloadGenerator(
+            Web(), seed="empty", config=WorkloadConfig(max_vocab_queries=0)
+        )
+        assert generator.stream(10) == []

@@ -11,9 +11,48 @@ from repro.util.stats import (
     gini,
     harmonic_number,
     lincoln_petersen_estimate,
+    percentile,
     share_of_top,
     wilson_interval,
 )
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_interpolates_between_points(self):
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([0.0, 10.0], 90) == pytest.approx(9.0)
+
+    def test_extremes_are_min_and_max(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile([4, 2, 8, 6], 75) == percentile([8, 6, 4, 2], 75)
+
+    def test_empty_and_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_monotone_in_q(self, values):
+        p50, p90, p99 = (percentile(values, q) for q in (50, 90, 99))
+        # Tolerance of a few ulps: interpolating between nearly-adjacent
+        # floats can round either way.
+        slack = 1e-9 * max(1.0, p99)
+        assert p50 <= p90 + slack
+        assert p90 <= p99 + slack
+        assert min(values) <= p50 + slack and p99 <= max(values) + slack
 
 
 class TestCumulativeShare:
