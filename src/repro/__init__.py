@@ -28,9 +28,13 @@ The package implements, over a fully simulated web:
 * ``repro.htmlparse`` -- DOM construction and form/link/table extraction.
 * ``repro.search`` -- an inverted-index (BM25) search engine, a crawler and
   a power-law query-log generator.
+* ``repro.query`` -- the federated query layer: a planner that parses
+  keyword vs ``field:value`` queries and emits explicit routed plans,
+  an executor with per-route fetch/time budgets and blend provenance.
 * ``repro.serve`` -- the query-serving frontend: worker pool with bounded
   admission and load shedding, LRU+TTL result cache invalidated on
-  ingest, and seeded Zipf workload generation.
+  ingest (string queries and plan fingerprints alike), and seeded
+  Zipf/mixed-mode workload generation.
 * ``repro.core`` -- the paper's contribution: surfacing configuration and
   results, plus typed-input recognition, iterative probing, informative
   query templates, correlated inputs, URL generation with an indexability
@@ -68,6 +72,20 @@ from repro.pipeline import (
     Stage,
     SurfacingPipeline,
     default_stages,
+)
+from repro.query import (
+    BlendedRanker,
+    IndexedRoute,
+    LiveVerticalRoute,
+    ParsedQuery,
+    PlanHit,
+    PlannerStats,
+    PlanResult,
+    QueryExecutor,
+    QueryPlan,
+    QueryPlanner,
+    WebTablesRoute,
+    parse_query,
 )
 from repro.search.crawler import Crawler
 from repro.search.engine import SOURCE_SURFACED, SearchEngine
@@ -127,6 +145,19 @@ __all__ = [
     "StoreStats",
     "InMemoryBackend",
     "ShardedBackend",
+    # federated query planning
+    "ParsedQuery",
+    "parse_query",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryExecutor",
+    "BlendedRanker",
+    "PlanResult",
+    "PlanHit",
+    "PlannerStats",
+    "IndexedRoute",
+    "LiveVerticalRoute",
+    "WebTablesRoute",
     # query serving
     "QueryFrontend",
     "QueryResultCache",

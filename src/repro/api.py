@@ -29,6 +29,13 @@ Storage is pluggable through the unified content store: pass
 across shards (rankings stay identical to the in-memory default), and use
 ``search_all()`` for a cross-corpus query that ranks surfaced pages,
 crawled pages and harvested webtables in one result list.
+
+Cross-corpus reads flow through the federated query layer
+(:mod:`repro.query`): ``search_all()`` is a thin wrapper over an
+indexed-only :class:`~repro.query.plan.QueryPlan` (byte-identical to the
+pre-planner read path), while ``plan()``/``execute()`` expose the full
+routed form -- indexed + webtables + a budgeted live form probe -- with
+per-hit provenance and per-route budget accounting in ``report()``.
 """
 
 from __future__ import annotations
@@ -42,6 +49,9 @@ from repro.htmlparse.forms import extract_forms
 from repro.pipeline.observer import MetricsObserver, PipelineObserver, ProgressObserver
 from repro.pipeline.pipeline import SurfacingPipeline
 from repro.pipeline.stages import Stage
+from repro.query.executor import PlannerStats, PlanResult, QueryExecutor
+from repro.query.plan import QueryPlan
+from repro.query.planner import QueryPlanner
 from repro.search.crawler import CrawlStats, Crawler
 from repro.search.engine import (
     SOURCE_SURFACE,
@@ -58,6 +68,7 @@ from repro.util.text import tokenize
 from repro.webspace.loadmeter import AGENT_WEBTABLES
 from repro.webspace.page import WebPage
 from repro.webspace.site import DeepWebSite
+from repro.virtual.vertical import VerticalSearchEngine
 from repro.webspace.sitegen import WebConfig, generate_web
 from repro.webspace.web import Web
 from repro.webtables.corpus import TableCorpus
@@ -303,6 +314,9 @@ class ServiceReport:
     crawl: CrawlStats | None = None
     sites: list[SiteReportRow] = field(default_factory=list)
     stage_metrics: dict[str, object] = field(default_factory=dict)
+    #: Federated-read provenance: plans executed, routes taken, hits kept
+    #: per route, live fetches consumed, blend sizes.
+    query_planning: dict[str, object] = field(default_factory=dict)
 
     def lines(self) -> list[str]:
         """A deterministic, human-readable rendering (no wall-clock)."""
@@ -321,6 +335,17 @@ class ServiceReport:
                 f"{source}={count}" for source, count in sorted(self.index_by_source.items())
             )
             out.append(f"index by source: {by_source}")
+        if self.query_planning.get("plans"):
+            routes = ", ".join(
+                f"{route}={count}"
+                for route, count in self.query_planning.get("routes_taken", {}).items()
+            )
+            out.append(
+                f"query planning: {self.query_planning['plans']} plans "
+                f"(routes {routes or 'none'}), "
+                f"{self.query_planning.get('live_fetches', 0)} live fetches, "
+                f"{self.query_planning.get('blended_results', 0)} blended results"
+            )
         for row in self.sites:
             coverage = f"{row.coverage:.0%}" if row.coverage is not None else "n/a"
             out.append(
@@ -471,6 +496,12 @@ class DeepWebService:
         self._harvest_settled: tuple[int, int] | None = None
         self._serving = dict(serving or {})
         self._frontend: QueryFrontend | None = None
+        #: Federated read path: one planner + executor pair per service,
+        #: sharing one provenance-stats sink surfaced by :meth:`report`.
+        self.planner_stats = PlannerStats()
+        self._planner: QueryPlanner | None = None
+        self._executor: QueryExecutor | None = None
+        self._vertical: VerticalSearchEngine | None = None
 
     @classmethod
     def build(cls) -> DeepWebServiceBuilder:
@@ -511,10 +542,55 @@ class DeepWebService:
         :meth:`~DeepWebServiceBuilder.serving`).  A frontend the caller
         closed (e.g. via ``with service.frontend:``) is replaced with a
         fresh one on the next access, so the serving path never sticks
-        in a refused state."""
+        in a refused state.  The frontend serves :class:`QueryPlan` s
+        through this service's executor (``serve_plan``), cached on the
+        plan fingerprint."""
         if self._frontend is None or self._frontend.closed:
-            self._frontend = QueryFrontend(self.engine, **self._serving)
+            self._frontend = QueryFrontend(
+                self.engine, executor=self.executor, **self._serving
+            )
         return self._frontend
+
+    @property
+    def vertical(self) -> VerticalSearchEngine:
+        """The live virtual-integration engine over this service's web.
+
+        Created on first access -- building the routing table registers
+        every deep site (homepage fetches under the ``virtual`` agent)
+        and lands accepted sources in the shared store as
+        ``vertical-source`` documents, so only plans that opted into
+        live probing (``plan(live=True)``) ever pay that cost."""
+        if self._vertical is None:
+            self._vertical = VerticalSearchEngine(
+                self.web, ingestor=self.engine.ingestor
+            )
+            self._vertical.register_sites(self.web.deep_sites())
+        return self._vertical
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The federated query planner (router scores, store stats and
+        corpus statistics in; explicit :class:`QueryPlan` s out)."""
+        if self._planner is None:
+            self._planner = QueryPlanner(
+                self.engine,
+                router_provider=lambda: self.vertical.router,
+                corpus_provider=lambda: self.corpus,
+            )
+        return self._planner
+
+    @property
+    def executor(self) -> QueryExecutor:
+        """The plan executor: runs routes under budgets, blends with
+        provenance, refreshes the table harvest incrementally."""
+        if self._executor is None:
+            self._executor = QueryExecutor(
+                self.engine,
+                vertical_provider=lambda: self.vertical,
+                refresh=self.harvest_tables,
+                stats=self.planner_stats,
+            )
+        return self._executor
 
     # -- operations ---------------------------------------------------------
 
@@ -650,16 +726,70 @@ class DeepWebService:
         )
         return admitted
 
+    def plan(
+        self,
+        query: str,
+        k: int = 20,
+        min_per_source: int = 0,
+        live: bool = False,
+        live_fetch_budget: int | None = None,
+        include_webtables: bool | None = None,
+    ) -> QueryPlan:
+        """Plan one federated read without executing it.
+
+        The planner parses ``query`` (keywords vs ``field:value``
+        filters), consults routing signals (router vocabulary scores,
+        store composition, corpus attribute statistics) and emits an
+        explicit, replayable :class:`QueryPlan`.  ``live=True`` allows a
+        budgeted query-time probe of routed form sites (this builds the
+        virtual-integration routing table on first use)."""
+        return self.planner.plan(
+            query,
+            k=k,
+            min_per_source=min_per_source,
+            live=live,
+            live_fetch_budget=live_fetch_budget,
+            include_webtables=include_webtables,
+        )
+
+    def execute(self, plan: QueryPlan) -> PlanResult:
+        """Execute a plan through this service's executor (budgets
+        enforced, provenance recorded in :meth:`report`)."""
+        return self.executor.execute(plan)
+
+    def query(
+        self,
+        query: str,
+        k: int = 20,
+        min_per_source: int = 0,
+        live: bool = False,
+        live_fetch_budget: int | None = None,
+    ) -> PlanResult:
+        """Plan and execute in one call: the federated read path."""
+        return self.execute(
+            self.plan(
+                query,
+                k=k,
+                min_per_source=min_per_source,
+                live=live,
+                live_fetch_budget=live_fetch_budget,
+            )
+        )
+
     def search_all(
         self, query: str, k: int = 20, min_per_source: int = 3
     ) -> list[SearchResult]:
         """Cross-corpus search: one BM25-ranked list over every route.
 
-        Surfaced pages, crawled pages, webtable documents and any
-        registered vertical sources are ranked together -- the paper's
-        "one searchable index" end state.  Webtables are harvested from
-        the indexed pages first (incrementally), so the structured route
-        is populated before ranking.
+        A thin wrapper over the planner + executor: the emitted plan is
+        *indexed-only* (the materialized store already holds surfaced
+        pages, crawled pages, webtable documents and registered vertical
+        sources), which keeps results byte-identical to the pre-planner
+        read path -- ``tests/query`` pins this.  Webtables are harvested
+        from the indexed pages first (incrementally), so the structured
+        route is populated before ranking.  For multi-route reads with
+        live probing and blend provenance, use :meth:`plan` /
+        :meth:`execute`.
 
         The returned list is the global top-k plus a representation
         floor: every source tag that matches the query anywhere in the
@@ -669,37 +799,18 @@ class DeepWebService:
         score-ordered (ties by doc id) and may exceed ``k`` by the few
         floor entries; pass ``min_per_source=0`` for the pure top-k.
 
-        Boundary contract: ``k <= 0`` returns an empty list (the floor
+        Boundary contract: ``k <= 0`` and empty/whitespace queries
+        return an empty list without harvesting or probing (the floor
         tops up a requested ranking, it never manufactures one); a
         source with fewer matches than the floor contributes exactly
         what it has (no padding); an empty corpus or empty match set
         returns an empty list; repeated calls return the identical,
         stably ordered list.
         """
-        self.harvest_tables()
-        if k <= 0:
-            # Without this, a floor > 0 would serve floor-only entries for
-            # k=0 and a negative k would slice the *end* off the full
-            # ranking (full[:k]) -- both nonsense answers.
-            return []
-        if min_per_source <= 0:
-            # Pure top-k: keep the backend's heap-based ranking path.
-            return self.engine.search(query, k=k)
-        # The representation floor needs to see where every matching
-        # source ranks, so this path ranks all matches.
-        full = self.engine.search(query, k=max(k, len(self.engine)))
-        top = full[:k]
-        counts: dict[str, int] = {}
-        for result in top:
-            counts[result.source] = counts.get(result.source, 0) + 1
-        extras = []
-        for result in full[k:]:
-            if counts.get(result.source, 0) < min_per_source:
-                counts[result.source] = counts.get(result.source, 0) + 1
-                extras.append(result)
-        if extras:
-            top = sorted(top + extras, key=lambda r: (-r.score, r.doc_id))
-        return top
+        plan = self.planner.plan(
+            query, k=k, min_per_source=min_per_source, include_webtables=False
+        )
+        return self.execute(plan).results
 
     def result_for(self, host: str) -> SiteSurfacingResult | None:
         for result in self.results:
@@ -738,4 +849,5 @@ class DeepWebService:
             crawl=self.crawl_stats,
             sites=rows,
             stage_metrics=self.metrics.as_dict(),
+            query_planning=self.planner_stats.as_dict(),
         )

@@ -13,12 +13,18 @@ The report times the same seeded workload in several configurations:
 The in-tree runs are checked for byte-identical surfaced output (site
 results, index contents and the deterministic report rendering) before
 any number is written, so a speedup can never come from computing
-something else.  Three more sections cover the E5 URL-scaling workload,
-a BM25 micro-benchmark (full sort vs heap top-k on the same index), and
-the ``serve_qps`` scenario: a seeded 1k-query Zipf workload replayed
-through the :class:`~repro.serve.frontend.QueryFrontend` (worker pool +
-result cache), output-checked byte-identical against direct
-``engine.search`` calls before its throughput is reported.
+something else.  Four more sections cover the E5 URL-scaling workload,
+a BM25 micro-benchmark (full sort vs heap top-k on the same index), the
+``serve_qps`` scenario (a seeded 1k-query Zipf workload replayed
+through the :class:`~repro.serve.frontend.QueryFrontend`, output-checked
+byte-identical against direct ``engine.search`` calls), and the
+``planner_qps`` scenario: a seeded mixed workload (keyword +
+``field:value`` structured + table-lookup queries) planned by the
+federated :class:`~repro.query.planner.QueryPlanner` and served as
+plans, output-checked byte-identical against direct
+:class:`~repro.query.executor.QueryExecutor` runs.  ``--smoke`` runs
+the two serving scenarios once on a tiny world (identity checks only,
+nothing written) -- the CI regression gate.
 
 Usage (the console entry point installed by setup.py; the
 ``scripts/bench_report.py`` shim is equivalent for in-repo runs):
@@ -280,6 +286,64 @@ def run_bm25_micro(index_engine, queries: int = 300, k: int = 10):
     }
 
 
+def run_planner_qps(service, queries: int = 600, k: int = 10):
+    """The federated-planner scenario: a mixed workload through plans.
+
+    A seeded mixed-mode stream (keyword + ``field:value`` structured +
+    table-lookup queries) is planned once, executed directly through the
+    :class:`~repro.query.executor.QueryExecutor` (the ground truth), then
+    replayed through the frontend's ``serve_plan`` path (plan-fingerprint
+    cache).  The frontend replay must match the direct runs byte for byte
+    or the report aborts.  Plan serving is synchronous (``serve_plan``
+    runs on the calling thread), so the scenario measures the plan cache,
+    not worker-pool concurrency -- ``serve_qps`` covers that.
+    """
+    from collections import Counter
+
+    from repro.serve.loadgen import WorkloadGenerator as MixedGenerator
+
+    service.harvest_tables()  # populate the webtables route before planning
+    workload = MixedGenerator(service.web, seed="bench-planner").mixed_stream(queries, k=k)
+    plans = [service.plan(query.text, k=query.k, min_per_source=2) for query in workload]
+
+    started = time.perf_counter()
+    direct = [service.execute(plan).results for plan in plans]
+    direct_seconds = time.perf_counter() - started
+
+    frontend = QueryFrontend(
+        service.engine, workers=1, cache_size=4096, executor=service.executor
+    )
+    try:
+        started = time.perf_counter()
+        served = [frontend.serve_plan(plan).results for plan in plans]
+        frontend_seconds = time.perf_counter() - started
+        stats = frontend.stats()
+    finally:
+        frontend.close()
+    if served != direct:
+        raise SystemExit("FATAL: frontend-served plans diverged from direct executor runs")
+    if stats.cache_hit_rate <= 0.0:
+        raise SystemExit("FATAL: planner workload produced no cache hits (Zipf stream broken?)")
+    route_mix = Counter()
+    for plan in plans:
+        route_mix["+".join(plan.route_names)] += 1
+    return {
+        "queries": len(workload),
+        "k": k,
+        "serving": "serial serve_plan (plan-fingerprint cache; no worker pool)",
+        "query_mix": dict(sorted(Counter(query.kind for query in workload).items())),
+        "plan_shapes": dict(sorted(route_mix.items())),
+        "unique_plans": len({plan.fingerprint() for plan in plans}),
+        "direct_seconds": round(direct_seconds, 3),
+        "frontend_seconds": round(frontend_seconds, 3),
+        "speedup": speedup(direct_seconds, frontend_seconds),
+        "qps": round(len(workload) / frontend_seconds, 1) if frontend_seconds else None,
+        "cache_hit_rate": round(stats.cache_hit_rate, 4),
+        "live_fetches": stats.live_fetches,
+        "identical_to_direct_executor": True,
+    }
+
+
 def run_serve_qps(engine, web: Web, max_workers: int, queries: int = 1000, k: int = 10):
     """The serving scenario: a seeded Zipf workload through the frontend.
 
@@ -332,17 +396,17 @@ def speedup(before: float, after: float) -> float | None:
 def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path) -> dict:
     seed = None
     if seed_ref:
-        print(f"[1/6] seed reference ({seed_ref}) on scale={scale!r} ...")
+        print(f"[1/7] seed reference ({seed_ref}) on scale={scale!r} ...")
         seed = run_seed_reference(seed_ref, scale, root)
         if seed:
             print(
                 f"      surface_many {seed['surface_many_seconds']:.2f}s, "
                 f"url_scaling {seed['url_scaling_seconds']:.2f}s"
             )
-    print(f"[2/6] baseline surface_many (serial, uncached) on scale={scale!r} ...")
+    print(f"[2/7] baseline surface_many (serial, uncached) on scale={scale!r} ...")
     baseline = run_surface_many(scale, parallel=False, cached=False, max_workers=max_workers)
     print(f"      {baseline['seconds']:.2f}s")
-    print("[3/6] optimized surface_many (cached; serial and parallel) ...")
+    print("[3/7] optimized surface_many (cached; serial and parallel) ...")
     optimized_serial = run_surface_many(scale, parallel=False, cached=True, max_workers=max_workers)
     optimized_parallel = run_surface_many(scale, parallel=True, cached=True, max_workers=max_workers)
     print(
@@ -368,14 +432,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         print("      note: seed indexed a different URL count (expected when "
               "behaviour-changing satellites landed); speedups remain workload-level")
 
-    print("[4/6] url-scaling workload (uncached vs cached) ...")
+    print("[4/7] url-scaling workload (uncached vs cached) ...")
     scaling_before = run_url_scaling(cached=False)
     scaling_after = run_url_scaling(cached=True)
     if scaling_before["measurements"] != scaling_after["measurements"]:
         raise SystemExit("FATAL: cached url-scaling output diverged from uncached")
     print(f"      {scaling_before['seconds']:.2f}s -> {scaling_after['seconds']:.2f}s")
 
-    print("[5/6] BM25 micro-benchmark (full sort vs top-k) ...")
+    print("[5/7] BM25 micro-benchmark (full sort vs top-k) ...")
     # Rank over the optimized run's index contents, rebuilt fresh.
     engine = SearchEngine()
     for doc_id, url, host, title, text, source, annotations in optimized["index"]:
@@ -385,11 +449,21 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         )
     bm25 = run_bm25_micro(engine)
 
-    print("[6/6] serve_qps (seeded Zipf workload through the frontend) ...")
+    print("[6/7] serve_qps (seeded Zipf workload through the frontend) ...")
     serve = run_serve_qps(engine, optimized["web"], max_workers)
     print(
         f"      {serve['qps']:.0f} qps, cache hit rate {serve['cache_hit_rate']:.1%}, "
         f"p99 {serve['latency_p99_ms']:.3f}ms"
+    )
+
+    print("[7/7] planner_qps (mixed federated workload through plans) ...")
+    planner_service = (
+        DeepWebService.build().web(optimized["web"]).engine(engine).create()
+    )
+    planner = run_planner_qps(planner_service)
+    print(
+        f"      {planner['qps']:.0f} qps, cache hit rate {planner['cache_hit_rate']:.1%}, "
+        f"{planner['unique_plans']} unique plans"
     )
 
     surface_before = seed["surface_many_seconds"] if seed else baseline["seconds"]
@@ -435,7 +509,39 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         },
         "bm25_topk": bm25,
         "serve_qps": serve,
+        "planner_qps": planner,
     }
+
+
+def run_smoke(max_workers: int) -> None:
+    """CI mode: one tiny iteration of the serving scenarios, identity
+    checks only (no timings are recorded, nothing is written).
+
+    Builds a small crawled + surfaced world and runs ``serve_qps`` and
+    ``planner_qps`` once each; both scenarios abort the process when the
+    frontend output diverges from the direct engine/executor runs, which
+    is exactly the regression this mode exists to catch on PRs.
+    """
+    print("smoke: building a small crawled+surfaced world ...")
+    service = (
+        DeepWebService.build()
+        .web(WebConfig(total_deep_sites=3, surface_site_count=1, max_records=60, seed=13))
+        .surfacing(SurfacingConfig(max_urls_per_form=60))
+        .create()
+    )
+    service.crawl(max_pages=100)
+    service.surface()
+    print(f"smoke: index ready ({len(service.engine)} documents)")
+    # Divergence aborts inside the run_* scenarios (SystemExit); reaching
+    # the summary line below IS the pass signal.
+    print("smoke: serve_qps identity check ...")
+    run_serve_qps(service.engine, service.web, max_workers, queries=200)
+    print("smoke: planner_qps identity check ...")
+    planner = run_planner_qps(service, queries=200)
+    print(
+        "smoke: OK (serve and planner outputs byte-identical; "
+        f"plan shapes {planner['plan_shapes']})"
+    )
 
 
 def print_comparison(previous: dict, current: dict) -> None:
@@ -467,7 +573,16 @@ def main(root: Path | None = None) -> None:
     parser.add_argument(
         "--dry-run", action="store_true", help="measure and print, do not write"
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: run the serve_qps and planner_qps scenarios once on a "
+        "tiny world, identity checks only, write nothing",
+    )
     args = parser.parse_args()
+
+    if args.smoke:
+        run_smoke(args.max_workers)
+        return
 
     report = build_report(args.scale, args.max_workers, args.seed_ref, root)
 
@@ -496,6 +611,13 @@ def main(root: Path | None = None) -> None:
         f"serve_qps: {serve['qps']:.0f} qps over {serve['queries']} queries "
         f"(cache hit rate {serve['cache_hit_rate']:.1%}, {serve['shed']} shed, "
         "byte-identical to direct engine.search)"
+    )
+    planner = report["planner_qps"]
+    print(
+        f"planner_qps: {planner['qps']:.0f} qps over {planner['queries']} mixed queries "
+        f"(cache hit rate {planner['cache_hit_rate']:.1%}, "
+        f"{planner['unique_plans']} unique plans, "
+        "byte-identical to direct executor runs)"
     )
 
     if not args.dry_run:

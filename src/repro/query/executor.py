@@ -1,0 +1,368 @@
+"""Plan execution: routes run under budgets, results blended with provenance.
+
+The :class:`QueryExecutor` is the single place a :class:`QueryPlan`
+turns into results.  Each route operator runs in plan order under its
+own budget (live probes are capped by an explicit ``Web.fetch`` budget
+and an optional wall-clock budget), its raw output is blended by the
+deterministic :class:`BlendedRanker`, and the returned
+:class:`PlanResult` carries provenance: which route produced each hit,
+how many hits each route contributed and kept, and what each route
+spent.
+
+Equivalence guarantee: a plan holding a single :class:`IndexedRoute`
+bypasses normalization entirely -- its results (ids, scores, order) are
+byte-identical to the pre-planner ``search_all`` read path, which
+``tests/query/`` pins against a legacy replica.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.query.plan import (
+    IndexedRoute,
+    LiveVerticalRoute,
+    QueryPlan,
+    SOURCE_LIVE_VERTICAL,
+    WebTablesRoute,
+)
+from repro.search.engine import SearchEngine, SearchResult
+from repro.store.records import SOURCE_WEBTABLE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.virtual.vertical import VerticalSearchEngine
+
+
+@dataclass(frozen=True)
+class PlanHit:
+    """One blended result plus the route that produced it."""
+
+    result: SearchResult
+    route: str
+
+
+@dataclass(frozen=True)
+class RouteOutcome:
+    """What one route did during a plan execution."""
+
+    route: str
+    produced: int
+    kept: int
+    fetches_spent: int
+    seconds: float
+    skipped: bool = False
+
+
+@dataclass
+class PlanResult:
+    """The outcome of executing one plan, provenance included."""
+
+    plan: QueryPlan
+    hits: list[PlanHit] = field(default_factory=list)
+    routes: list[RouteOutcome] = field(default_factory=list)
+    cached: bool = False
+
+    @property
+    def results(self) -> list[SearchResult]:
+        """The ranked result list (what ``search_all`` returns)."""
+        return [hit.result for hit in self.hits]
+
+    @property
+    def live_fetches_spent(self) -> int:
+        return sum(outcome.fetches_spent for outcome in self.routes)
+
+    def routes_taken(self) -> tuple[str, ...]:
+        return tuple(outcome.route for outcome in self.routes if not outcome.skipped)
+
+
+class PlannerStats:
+    """Cumulative provenance counters over every executed plan.
+
+    Shared between the service facade (``report()``) and whichever
+    executor instances serve traffic; recording is locked because plan
+    execution may happen on frontend worker threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.plans = 0
+        self.empty_plans = 0
+        self.cached_plans = 0
+        self.live_fetches = 0
+        self.blended_results = 0
+        self.routes_taken: dict[str, int] = {}
+        self.hits_by_route: dict[str, int] = {}
+
+    def record(self, result: PlanResult) -> None:
+        with self._lock:
+            self.plans += 1
+            if result.plan.is_empty:
+                self.empty_plans += 1
+            if result.cached:
+                self.cached_plans += 1
+            self.live_fetches += result.live_fetches_spent
+            self.blended_results += len(result.hits)
+            for outcome in result.routes:
+                if not outcome.skipped:
+                    self.routes_taken[outcome.route] = (
+                        self.routes_taken.get(outcome.route, 0) + 1
+                    )
+                self.hits_by_route[outcome.route] = (
+                    self.hits_by_route.get(outcome.route, 0) + outcome.kept
+                )
+
+    def as_dict(self) -> dict[str, object]:
+        """A deterministic snapshot (sorted route keys)."""
+        with self._lock:
+            return {
+                "plans": self.plans,
+                "empty_plans": self.empty_plans,
+                "cached_plans": self.cached_plans,
+                "live_fetches": self.live_fetches,
+                "blended_results": self.blended_results,
+                "routes_taken": dict(sorted(self.routes_taken.items())),
+                "hits_by_route": dict(sorted(self.hits_by_route.items())),
+            }
+
+
+class BlendedRanker:
+    """Deterministic cross-route merge.
+
+    A single contribution passes through untouched (raw backend scores,
+    the byte-identity path).  Multiple contributions are score-normalized
+    per route (divide by the route's best score), deduplicated -- a
+    document two routes both surfaced keeps its best-normalized instance
+    -- and merged score-descending with ties broken by ascending doc id,
+    then by route order.  Per-route floors guarantee representation:
+    a route with ``floor=f`` keeps at least ``min(f, produced)`` hits in
+    the final list, pulled up in normalized-rank order.
+    """
+
+    def blend(
+        self,
+        contributions: Sequence[tuple[str, Sequence[SearchResult], int]],
+        k: int,
+    ) -> list[PlanHit]:
+        if len(contributions) == 1:
+            name, results, _floor = contributions[0]
+            return [PlanHit(result=result, route=name) for result in results]
+        candidates: list[tuple[float, int, int, PlanHit]] = []
+        for order, (name, results, _floor) in enumerate(contributions):
+            best = max((result.score for result in results), default=0.0)
+            norm = best if best > 0 else 1.0
+            for result in results:
+                scored = replace(result, score=result.score / norm)
+                candidates.append(
+                    (-scored.score, scored.doc_id, order, PlanHit(scored, name))
+                )
+        candidates.sort(key=lambda entry: entry[:3])
+        deduped: list[PlanHit] = []
+        seen: set[str] = set()
+        for _neg_score, _doc_id, _order, hit in candidates:
+            # URL is the one identity shared by store documents and
+            # live-minted results, so a page the live probe returns that
+            # the store also holds dedups to its best instance.
+            if hit.result.url in seen:
+                continue
+            seen.add(hit.result.url)
+            deduped.append(hit)
+        head = deduped[:k]
+        taken = {id(hit) for hit in head}
+        counts: dict[str, int] = {}
+        for hit in head:
+            counts[hit.route] = counts.get(hit.route, 0) + 1
+        for name, _results, floor in contributions:
+            if floor <= 0:
+                continue
+            for hit in deduped[k:]:
+                if counts.get(name, 0) >= floor:
+                    break
+                if hit.route == name and id(hit) not in taken:
+                    taken.add(id(hit))
+                    head.append(hit)
+                    counts[name] = counts.get(name, 0) + 1
+        order_of = {name: index for index, (name, _r, _f) in enumerate(contributions)}
+        head.sort(
+            key=lambda hit: (-hit.result.score, hit.result.doc_id, order_of[hit.route])
+        )
+        return head
+
+
+class QueryExecutor:
+    """Runs plans against the store, the table corpus and the live seam."""
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        vertical_provider: Callable[[], "VerticalSearchEngine | None"] | None = None,
+        refresh: Callable[[], int] | None = None,
+        ranker: BlendedRanker | None = None,
+        stats: PlannerStats | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._engine = engine
+        self._vertical_provider = vertical_provider
+        #: Corpus refresh hook (the facade's incremental ``harvest_tables``);
+        #: runs once per non-empty plan so the webtables route ranks over a
+        #: current corpus.  O(1) on a settled store.
+        self._refresh = refresh
+        self._ranker = ranker or BlendedRanker()
+        self.stats = stats or PlannerStats()
+        self._clock = clock
+
+    def execute(self, plan: QueryPlan) -> PlanResult:
+        """Run every route in plan order and blend the outputs.
+
+        Empty plans return an empty result without refreshing, probing
+        or ranking anything -- the one query contract shared by every
+        read layer.
+        """
+        if plan.is_empty:
+            result = PlanResult(plan=plan)
+            self.stats.record(result)
+            return result
+        started = self._clock()
+        if self._refresh is not None:
+            self._refresh()
+        contributions: list[tuple[str, list[SearchResult], int]] = []
+        raw: list[tuple[str, int, int, float, bool]] = []
+        #: Per-execution memo so the indexed floor path and the webtables
+        #: route share one full ranking instead of ranking the corpus twice.
+        shared: dict[str, list[SearchResult]] = {}
+        for route in plan.routes:
+            route_started = self._clock()
+            skipped = False
+            fetches = 0
+            if isinstance(route, IndexedRoute):
+                results = self._run_indexed(plan, route, shared)
+            elif isinstance(route, WebTablesRoute):
+                results = self._run_webtables(plan, route, shared)
+            elif isinstance(route, LiveVerticalRoute):
+                if (
+                    route.time_budget_seconds is not None
+                    and self._clock() - started > route.time_budget_seconds
+                ):
+                    # The plan already spent its wall-clock allowance on
+                    # the offline routes; don't pile load onto live sites.
+                    results, skipped = [], True
+                else:
+                    results, fetches = self._run_live(plan, route)
+            else:  # pragma: no cover - the Route union is closed
+                raise TypeError(f"unknown route operator {route!r}")
+            contributions.append((route.name, results, getattr(route, "floor", 0)))
+            raw.append(
+                (route.name, len(results), fetches, self._clock() - route_started, skipped)
+            )
+        hits = self._ranker.blend(contributions, plan.k)
+        kept: dict[str, int] = {}
+        for hit in hits:
+            kept[hit.route] = kept.get(hit.route, 0) + 1
+        outcomes = [
+            RouteOutcome(
+                route=name,
+                produced=produced,
+                kept=kept.get(name, 0),
+                fetches_spent=fetches,
+                seconds=seconds,
+                skipped=skipped,
+            )
+            for name, produced, fetches, seconds, skipped in raw
+        ]
+        result = PlanResult(plan=plan, hits=hits, routes=outcomes)
+        self.stats.record(result)
+        return result
+
+    # -- route operators -----------------------------------------------------
+
+    def _full_ranking(
+        self, plan: QueryPlan, shared: dict[str, list[SearchResult]]
+    ) -> list[SearchResult]:
+        """Every matching document, ranked -- computed once per execution.
+
+        ``k >= len(engine)`` means the list holds *all* matches, so any
+        route-level ``k`` can slice it without losing entries.
+        """
+        full = shared.get("full")
+        if full is None:
+            full = self._engine.search(
+                plan.query.text, k=max(plan.k, len(self._engine))
+            )
+            shared["full"] = full
+        return full
+
+    def _run_indexed(
+        self,
+        plan: QueryPlan,
+        route: IndexedRoute,
+        shared: dict[str, list[SearchResult]],
+    ) -> list[SearchResult]:
+        """The materialized read path, byte-for-byte the pre-planner
+        ``search_all`` merge: global top-k plus the per-source
+        representation floor, score-ordered with doc-id ties."""
+        engine = self._engine
+        query = plan.query.text
+        if route.min_per_source <= 0:
+            # Pure top-k: keep the backend's heap-based ranking path.
+            return engine.search(query, k=route.k)
+        # The representation floor needs to see where every matching
+        # source ranks, so this path ranks all matches.
+        full = self._full_ranking(plan, shared)
+        top = full[: route.k]
+        counts: dict[str, int] = {}
+        for result in top:
+            counts[result.source] = counts.get(result.source, 0) + 1
+        extras = []
+        for result in full[route.k :]:
+            if counts.get(result.source, 0) < route.min_per_source:
+                counts[result.source] = counts.get(result.source, 0) + 1
+                extras.append(result)
+        if extras:
+            top = sorted(top + extras, key=lambda r: (-r.score, r.doc_id))
+        return top
+
+    def _run_webtables(
+        self,
+        plan: QueryPlan,
+        route: WebTablesRoute,
+        shared: dict[str, list[SearchResult]],
+    ) -> list[SearchResult]:
+        """Rank only the harvested ``webtable`` documents (tables and form
+        schemata the corpus admitted into the shared store)."""
+        full = self._full_ranking(plan, shared)
+        return [result for result in full if result.source == SOURCE_WEBTABLE][: route.k]
+
+    def _run_live(
+        self, plan: QueryPlan, route: LiveVerticalRoute
+    ) -> tuple[list[SearchResult], int]:
+        """Budgeted query-time probing through the vertical engine.
+
+        Probe records are minted into result rows with deterministic
+        negative doc ids (they have no store document); scores decay by
+        extraction rank so the blend's normalization sees a proper
+        ranking.
+        """
+        vertical = self._vertical_provider() if self._vertical_provider else None
+        if vertical is None or not route.hosts:
+            return [], 0
+        answer = vertical.probe(
+            route.hosts,
+            query=plan.query.keyword_text() or plan.query.text,
+            filters=plan.query.filters_dict() or None,
+            fetch_budget=route.fetch_budget,
+            max_results=route.max_results,
+        )
+        results = [
+            SearchResult(
+                doc_id=-(index + 1),
+                url=record.detail_url,
+                host=record.host,
+                title=record.title,
+                score=1.0 / (1.0 + index),
+                source=SOURCE_LIVE_VERTICAL,
+            )
+            for index, record in enumerate(answer.records)
+        ]
+        return results, answer.fetches_issued

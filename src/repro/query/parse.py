@@ -1,0 +1,64 @@
+"""Query parsing: keyword tokens vs ``field:value`` structured filters.
+
+One incoming string can mix both shapes -- ``make:Toyota color:red
+cheap`` carries two structured filters and one keyword -- and the
+planner routes each shape differently (filters unlock the WebTables
+route and structured live probing; keywords drive the indexed ranking
+and keyword routing).  Parsing is purely lexical and deterministic:
+a whitespace-separated token with exactly one ``:`` and non-empty text
+on both sides is a filter, everything else contributes keyword tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.text import tokenize
+from repro.webtables.corpus import normalize_attribute
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The lexical shape of one incoming query."""
+
+    text: str
+    keywords: tuple[str, ...]
+    filters: tuple[tuple[str, str], ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """No keywords and no filters: nothing to search, probe or cache."""
+        return not self.keywords and not self.filters
+
+    @property
+    def is_structured(self) -> bool:
+        return bool(self.filters)
+
+    def keyword_text(self) -> str:
+        return " ".join(self.keywords)
+
+    def filters_dict(self) -> dict[str, str]:
+        """Filters as a mapping (last occurrence of an attribute wins)."""
+        return dict(self.filters)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Split a raw query string into keywords and structured filters.
+
+    Empty and whitespace-only input parses to the canonical empty query
+    (``is_empty`` is True), which every read layer answers with ``[]``
+    without caching or probing.  Filter attributes are normalized with
+    the corpus' canonical attribute spelling so ``Body Style:`` and
+    ``body_style:`` address the same column; values keep their raw text
+    (matching downstream is case-insensitive).
+    """
+    keywords: list[str] = []
+    filters: list[tuple[str, str]] = []
+    for raw in (text or "").split():
+        if raw.count(":") == 1:
+            attribute, value = raw.split(":", 1)
+            if attribute.strip() and value.strip():
+                filters.append((normalize_attribute(attribute), value.strip()))
+                continue
+        keywords.extend(tokenize(raw))
+    return ParsedQuery(text=text or "", keywords=tuple(keywords), filters=tuple(filters))

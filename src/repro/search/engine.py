@@ -182,8 +182,16 @@ class SearchEngine:
     # -- querying ---------------------------------------------------------------
 
     def search(self, query: str, k: int = 10) -> list[SearchResult]:
-        """Rank documents for a keyword query (BM25)."""
+        """Rank documents for a keyword query (BM25).
+
+        Empty and whitespace-only queries (anything that tokenizes to
+        nothing) return ``[]`` without touching the backend -- the one
+        empty-query contract shared by ``search_all``, the planner and
+        the serving frontend.
+        """
         tokens = tokenize(query)
+        if not tokens:
+            return []
         ranked = self._backend.search(tokens, limit=k)
         results = []
         for doc_id, score in ranked:

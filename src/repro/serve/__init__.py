@@ -11,8 +11,10 @@ overload behavior.  This package provides:
 * :class:`ServeStats` / :class:`WorkloadOutcome` -- traffic counters,
   latency percentiles and lossless workload replays;
 * :class:`WorkloadGenerator` -- seeded Zipf query streams over the
-  head/tail query log and the datagen vocabularies, so load and
-  equivalence tests replay bit-for-bit.
+  head/tail query log and the datagen vocabularies, plus
+  ``mixed_stream`` (keyword / ``field:value`` structured / table-lookup
+  queries at configurable ratios), so load and equivalence tests replay
+  bit-for-bit.
 
 Frontend results are byte-identical to calling ``engine.search``
 directly (``tests/serve/`` pins cached, concurrent and post-invalidation
@@ -22,14 +24,20 @@ serving against the plain engine path).
 from repro.serve.cache import QueryResultCache, normalize_query
 from repro.serve.frontend import QueryFrontend, ServeStats, WorkloadOutcome
 from repro.serve.loadgen import (
+    KIND_STRUCTURED,
+    KIND_TABLE,
     KIND_VOCAB,
     WorkloadConfig,
     WorkloadGenerator,
     WorkloadQuery,
+    structured_queries,
+    table_lookup_queries,
     vocab_queries,
 )
 
 __all__ = [
+    "KIND_STRUCTURED",
+    "KIND_TABLE",
     "KIND_VOCAB",
     "QueryFrontend",
     "QueryResultCache",
@@ -39,5 +47,7 @@ __all__ = [
     "WorkloadOutcome",
     "WorkloadQuery",
     "normalize_query",
+    "structured_queries",
+    "table_lookup_queries",
     "vocab_queries",
 ]

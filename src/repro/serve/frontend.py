@@ -38,8 +38,10 @@ import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.query.executor import PlanResult, QueryExecutor
+from repro.query.plan import QueryPlan
 from repro.search.engine import SearchEngine, SearchResult
 from repro.serve.cache import QueryResultCache, normalize_query
 from repro.serve.loadgen import WorkloadQuery
@@ -67,6 +69,12 @@ class ServeStats:
     latency_max: float
     elapsed_seconds: float = 0.0
     qps: float = 0.0
+    #: Federated-plan provenance: how many plan serves, what the live
+    #: routes spent, and how often each route participated (sorted
+    #: (route, count) pairs -- a tuple so the snapshot stays hashable).
+    plans_served: int = 0
+    live_fetches: int = 0
+    routes: tuple[tuple[str, int], ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
@@ -81,6 +89,9 @@ class ServeStats:
         cache_misses: int,
         latencies: Sequence[float],
         elapsed_seconds: float = 0.0,
+        plans_served: int = 0,
+        live_fetches: int = 0,
+        routes: Mapping[str, int] | None = None,
     ) -> "ServeStats":
         if latencies:
             ordered = sorted(latencies)  # percentile()'s re-sort is then linear
@@ -103,6 +114,9 @@ class ServeStats:
             latency_max=top,
             elapsed_seconds=elapsed_seconds,
             qps=(served / elapsed_seconds) if elapsed_seconds > 0 else 0.0,
+            plans_served=plans_served,
+            live_fetches=live_fetches,
+            routes=tuple(sorted((routes or {}).items())),
         )
 
     def lines(self) -> list[str]:
@@ -118,6 +132,12 @@ class ServeStats:
         ]
         if self.qps:
             out.append(f"throughput: {self.qps:.0f} queries/s over {self.elapsed_seconds:.2f}s")
+        if self.plans_served:
+            routes = ", ".join(f"{route}={count}" for route, count in self.routes)
+            out.append(
+                f"plans: {self.plans_served} served (routes {routes or 'none'}, "
+                f"{self.live_fetches} live fetches)"
+            )
         return out
 
     def __str__(self) -> str:
@@ -157,6 +177,7 @@ class QueryFrontend:
         queue_limit: int | None = None,
         latency_window: int = 10_000,
         clock: Callable[[], float] = time.perf_counter,
+        executor: QueryExecutor | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -180,6 +201,12 @@ class QueryFrontend:
         self._lock = threading.Lock()
         self._served = 0
         self._shed = 0
+        #: Optional federated-plan executor; without one, ``serve_plan``
+        #: refuses (the frontend alone cannot harvest or probe).
+        self._plan_executor = executor
+        self._plans_served = 0
+        self._live_fetches = 0
+        self._route_counts: dict[str, int] = {}
         # Cumulative percentiles cover the most recent window only, so a
         # long-lived frontend holds a bounded history; workload runs
         # collect their own exact latencies from the futures.
@@ -208,20 +235,73 @@ class QueryFrontend:
             raise RuntimeError("frontend is closed")
         started = self._clock()
         key = normalize_query(query)
-        # The generation must be read before ranking: a write landing
-        # mid-search would otherwise stamp a pre-write ranking as fresh.
-        generation = self.cache.generation
-        cached = self.cache.get(key, k)
-        if cached is not None:
-            results = list(cached)
+        if not key:
+            # The empty-query contract: nothing to rank, nothing to cache
+            # (an empty key must not occupy a cache slot or skew hit rates).
+            results: list[SearchResult] = []
         else:
-            results = self.engine.search(query, k=k)
-            self.cache.put(key, k, results, generation=generation)
+            # The generation must be read before ranking: a write landing
+            # mid-search would otherwise stamp a pre-write ranking as fresh.
+            generation = self.cache.generation
+            cached = self.cache.get(key, k)
+            if cached is not None:
+                results = list(cached)
+            else:
+                results = self.engine.search(query, k=k)
+                self.cache.put(key, k, results, generation=generation)
         latency = self._clock() - started
         with self._lock:
             self._served += 1
             self._latencies.append(latency)
         return results, latency
+
+    def serve_plan(self, plan: QueryPlan) -> PlanResult:
+        """Serve one federated :class:`QueryPlan`.
+
+        Cacheable plans (no live route) are keyed on the plan
+        fingerprint, generation-stamped exactly like string queries, so
+        any ingest invalidates them before the next serve.  Plans with a
+        live route are *never* cached: every serve runs the budgeted
+        probe, so a fresh query-time result can never be stale-served.
+        Empty plans return an empty result without executing, caching or
+        probing anything.
+        """
+        if self._closed:
+            raise RuntimeError("frontend is closed")
+        if self._plan_executor is None:
+            raise RuntimeError(
+                "this frontend has no plan executor; construct it with "
+                "QueryFrontend(engine, executor=...) or use service.frontend"
+            )
+        started = self._clock()
+        if plan.is_empty:
+            outcome = PlanResult(plan=plan)
+            # Keep the shared provenance sink in step with the executor
+            # path, which also records empty plans.
+            self._plan_executor.stats.record(outcome)
+        elif not plan.cacheable:
+            outcome = self._plan_executor.execute(plan)
+        else:
+            key = plan.fingerprint()
+            generation = self.cache.generation
+            cached = self.cache.get(key, plan.k)
+            if cached is not None:
+                outcome = PlanResult(plan=plan, hits=list(cached), cached=True)
+                # Cache hits still count as plans in the shared provenance
+                # stats (routes/budgets stay zero: nothing re-ran).
+                self._plan_executor.stats.record(outcome)
+            else:
+                outcome = self._plan_executor.execute(plan)
+                self.cache.put(key, plan.k, tuple(outcome.hits), generation=generation)
+        latency = self._clock() - started
+        with self._lock:
+            self._served += 1
+            self._plans_served += 1
+            self._live_fetches += outcome.live_fetches_spent
+            for route in outcome.routes_taken() if not outcome.cached else plan.route_names:
+                self._route_counts[route] = self._route_counts.get(route, 0) + 1
+            self._latencies.append(latency)
+        return outcome
 
     def submit(self, query: str, k: int = 10) -> Future | None:
         """Enqueue one query on the worker pool.
@@ -315,6 +395,9 @@ class QueryFrontend:
                 cache_hits=self.cache.hits,
                 cache_misses=self.cache.misses,
                 latencies=list(self._latencies),
+                plans_served=self._plans_served,
+                live_fetches=self._live_fetches,
+                routes=dict(self._route_counts),
             )
 
     def _executor(self) -> ThreadPoolExecutor:

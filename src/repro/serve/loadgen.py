@@ -39,6 +39,8 @@ from repro.util.zipf import ZipfSampler
 from repro.webspace.web import Web
 
 KIND_VOCAB = "vocab"
+KIND_STRUCTURED = "structured"
+KIND_TABLE = "table"
 
 
 @dataclass(frozen=True)
@@ -82,6 +84,47 @@ def vocab_queries(limit: int = 150) -> list[str]:
     return queries[: max(0, limit)]
 
 
+def structured_queries(limit: int = 120) -> list[str]:
+    """``field:value`` filter queries from the datagen vocab.
+
+    The shapes the federated planner parses into structured filters --
+    single- and two-attribute combinations over the car, apartment and
+    recipe domains.  Deterministic by construction.
+    """
+    queries: list[str] = []
+    for make, models in vocab.CAR_MAKES_MODELS.items():
+        queries.append(f"make:{make}".lower())
+        for model in models[:1]:
+            queries.append(f"make:{make} model:{model}".lower())
+    for city in vocab.CITY_NAMES[:16]:
+        queries.append(f"city:{city}".lower().replace(" ", "_"))
+    for cuisine in vocab.CUISINES[:8]:
+        queries.append(f"cuisine:{cuisine} vegetarian".lower())
+    return queries[: max(0, limit)]
+
+
+def table_lookup_queries(limit: int = 60) -> list[str]:
+    """Attribute-combination queries (the WebTables lookup shape).
+
+    Every query is a run of schema attribute names from one domain spec
+    -- the kind of query ``webtable`` documents (whose text leads with
+    the table header) answer, and which the planner recognizes as a
+    table lookup once the corpus statistics know the attributes.
+    """
+    from repro.datagen.domains import iter_domains
+
+    queries: list[str] = []
+    for spec in iter_domains():
+        columns = [name for name in spec.form_columns if name]
+        for width in (2, 3):
+            if len(columns) >= width:
+                queries.append(" ".join(columns[:width]))
+    # Deterministic dedup, preserving first-seen order.
+    seen: set[str] = set()
+    unique = [q for q in queries if not (q in seen or seen.add(q))]
+    return unique[: max(0, limit)]
+
+
 class WorkloadGenerator:
     """Builds seeded, replayable query streams over a simulated web."""
 
@@ -96,6 +139,10 @@ class WorkloadGenerator:
         self._rng = SeededRng(seed)
         self._population: list[WorkloadQuery] | None = None
         self._stream_rng: SeededRng | None = None
+        # Mixed-stream state persists like _stream_rng: consecutive
+        # mixed_stream calls continue the sequence instead of replaying it.
+        self._mixed_mode_rng: SeededRng | None = None
+        self._mixed_rngs: dict[str, SeededRng] = {}
 
     def population(self) -> list[WorkloadQuery]:
         """The ranked unique-query population (rank 1 = most popular).
@@ -148,3 +195,61 @@ class WorkloadGenerator:
             replace(population[sampler.sample_rank(self._stream_rng) - 1], k=k)
             for _ in range(count)
         ]
+
+    def mixed_stream(
+        self,
+        count: int,
+        k: int = 10,
+        ratios: tuple[float, float, float] = (0.6, 0.25, 0.15),
+    ) -> list[WorkloadQuery]:
+        """A seeded mixed-mode stream: keyword, structured and
+        table-lookup queries interleaved at the given ratios.
+
+        This is the federated planner's workload shape: each request is
+        one of three modes -- a keyword query drawn Zipf-style from the
+        head/tail/vocab population, a ``field:value`` structured query,
+        or an attribute-combination table lookup, each mode with its own
+        Zipf-ranked population.  The per-request mode choice and all
+        three samplers derive from named children of the generator seed,
+        so a fresh generator with the same web and seed replays the
+        stream bit for bit; the same generator instance continues the
+        sequence across calls (like :meth:`stream`, whose sequence is
+        unaffected by interleaving).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if len(ratios) != 3 or any(r < 0 for r in ratios) or sum(ratios) <= 0:
+            raise ValueError(f"ratios must be three non-negative weights, got {ratios}")
+        populations: dict[str, list[WorkloadQuery]] = {
+            "keyword": self.population(),
+            KIND_STRUCTURED: [
+                WorkloadQuery(text=text, kind=KIND_STRUCTURED, rank=rank)
+                for rank, text in enumerate(structured_queries(), start=1)
+            ],
+            KIND_TABLE: [
+                WorkloadQuery(text=text, kind=KIND_TABLE, rank=rank)
+                for rank, text in enumerate(table_lookup_queries(), start=1)
+            ],
+        }
+        modes = [mode for mode, pop in populations.items() if pop]
+        weights = [ratios[("keyword", KIND_STRUCTURED, KIND_TABLE).index(m)] for m in modes]
+        if not modes or count == 0:
+            return []
+        if self._mixed_mode_rng is None:
+            self._mixed_mode_rng = self._rng.child("mixed-mode")
+        mode_rng = self._mixed_mode_rng
+        samplers = {}
+        for mode, pop in populations.items():
+            if pop:
+                if mode not in self._mixed_rngs:
+                    self._mixed_rngs[mode] = self._rng.child(f"mixed-{mode}")
+                samplers[mode] = (
+                    ZipfSampler(n=len(pop), exponent=self.config.zipf_exponent),
+                    self._mixed_rngs[mode],
+                )
+        out: list[WorkloadQuery] = []
+        for _ in range(count):
+            mode = mode_rng.weighted_choice(modes, weights)
+            sampler, rng = samplers[mode]
+            out.append(replace(populations[mode][sampler.sample_rank(rng) - 1], k=k))
+        return out

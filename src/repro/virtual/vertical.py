@@ -14,6 +14,7 @@ approach shines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.core.form_model import SurfacingForm, discover_forms
 from repro.store.ingest import Ingestor
@@ -161,60 +162,120 @@ class VerticalSearchEngine:
 
     # -- query answering -----------------------------------------------------------
 
-    def keyword_query(self, query: str, max_results: int = 20) -> VerticalAnswer:
-        """Answer a keyword query by routing + reformulation + extraction."""
-        answer = VerticalAnswer(query=query)
+    def keyword_query(
+        self, query: str, max_results: int = 20, fetch_budget: int | None = None
+    ) -> VerticalAnswer:
+        """Answer a keyword query by routing + reformulation + extraction.
+
+        ``fetch_budget`` caps the query-time ``Web.fetch`` calls across
+        all contacted sources (``None`` keeps the per-source page limit
+        as the only cap).
+        """
         decision = self.router.route(query, max_sources=self.max_sources_per_query)
+        answer = self.probe(
+            decision.selected_hosts(self.max_sources_per_query),
+            query=query,
+            fetch_budget=fetch_budget,
+            max_results=max_results,
+        )
         answer.routing = decision
-        for host in decision.selected_hosts(self.max_sources_per_query):
-            source = self._sources[host]
-            reformulation = self.reformulator.reformulate(query, source.mapping)
-            if reformulation.is_empty:
-                continue
-            records, fetches = self._fetch_records(source, reformulation.bindings)
-            answer.fetches_issued += fetches
-            answer.sources_contacted.append(host)
-            answer.records.extend(self._filter_by_query(records, query))
-        answer.records = answer.records[:max_results]
         return answer
 
-    def structured_query(self, filters: dict[str, str], max_results: int = 50) -> VerticalAnswer:
+    def structured_query(
+        self,
+        filters: dict[str, str],
+        max_results: int = 50,
+        fetch_budget: int | None = None,
+    ) -> VerticalAnswer:
         """Answer a structured query expressed over mediated-schema attributes."""
-        answer = VerticalAnswer(query=str(filters))
-        for host, source in self._sources.items():
-            bindings: dict[str, str] = {}
-            for attribute, value in filters.items():
-                input_name = source.mapping.input_for(attribute)
-                if input_name is not None:
-                    bindings[input_name] = str(value)
+        return self.probe(
+            list(self._sources),
+            filters=filters,
+            fetch_budget=fetch_budget,
+            max_results=max_results,
+        )
+
+    def probe(
+        self,
+        hosts: Sequence[str],
+        query: str = "",
+        filters: Mapping[str, str] | None = None,
+        fetch_budget: int | None = None,
+        max_results: int = 20,
+    ) -> VerticalAnswer:
+        """The query-time probing seam: submit forms on explicit hosts.
+
+        This is what a federated executor drives directly -- the caller
+        (router, planner) has already decided *which* sources to
+        contact; this method only spends the fetch budget.  With
+        ``filters`` each host's form mapping binds the filter attributes
+        it can express (hosts binding none are skipped free of charge);
+        otherwise the keyword ``query`` is reformulated per host.
+        ``fetch_budget`` is a hard cap on ``Web.fetch`` calls across the
+        whole probe: pagination stops mid-source when it runs out, and
+        remaining hosts are not contacted.
+        """
+        answer = VerticalAnswer(query=query or str(dict(filters or {})))
+        remaining = fetch_budget
+        for host in hosts:
+            source = self._sources.get(host)
+            if source is None:
+                continue
+            if filters:
+                bindings = {}
+                for attribute, value in filters.items():
+                    input_name = source.mapping.input_for(attribute)
+                    if input_name is not None:
+                        bindings[input_name] = str(value)
+            else:
+                reformulation = self.reformulator.reformulate(query, source.mapping)
+                bindings = {} if reformulation.is_empty else reformulation.bindings
             if not bindings:
                 continue
-            records, fetches = self._fetch_records(source, bindings)
+            if remaining is not None and remaining <= 0:
+                break
+            records, fetches = self._fetch_records(source, bindings, budget=remaining)
+            if remaining is not None:
+                remaining -= fetches
             answer.fetches_issued += fetches
             answer.sources_contacted.append(host)
-            # The form submission already applied the filters on the backend;
-            # re-check locally only for attributes the wrapper actually extracted.
-            checkable = {
-                attribute: value
-                for attribute, value in filters.items()
-                if any(attribute in record.attributes for record in records)
-            }
-            answer.records.extend(
-                record for record in records if matches_filters(record, checkable)
-            )
+            if filters:
+                # The form submission already applied the filters on the
+                # backend; re-check locally only for attributes the wrapper
+                # actually extracted.
+                checkable = {
+                    attribute: value
+                    for attribute, value in filters.items()
+                    if any(attribute in record.attributes for record in records)
+                }
+                answer.records.extend(
+                    record for record in records if matches_filters(record, checkable)
+                )
+            else:
+                answer.records.extend(self._filter_by_query(records, query))
         answer.records = answer.records[:max_results]
         return answer
 
     # -- internals ---------------------------------------------------------------------
 
     def _fetch_records(
-        self, source: RegisteredSource, bindings: dict[str, str]
+        self,
+        source: RegisteredSource,
+        bindings: dict[str, str],
+        budget: int | None = None,
     ) -> tuple[list[WrappedRecord], int]:
-        """Submit a form at query time and wrap the result pages."""
+        """Submit a form at query time and wrap the result pages.
+
+        ``budget`` caps the fetches this submission may issue (pagination
+        stops once it is exhausted); ``None`` leaves only the engine's
+        per-source page limit.
+        """
         records: list[WrappedRecord] = []
         fetches = 0
         url = source.form.submission_url(bindings)
         for _page_index in range(self.max_pages_per_source):
+            if budget is not None and fetches >= budget:
+                break
             page = self.web.fetch(url, agent=AGENT_VIRTUAL)
             fetches += 1
             if not page.ok:

@@ -1,0 +1,88 @@
+"""Tests for :class:`BlendedRanker`: normalization, dedup, floors, ties."""
+
+from __future__ import annotations
+
+from repro.query.executor import BlendedRanker
+from repro.search.engine import SearchResult
+
+
+def result(doc_id: int, score: float, source: str = "surfaced", url: str | None = None):
+    return SearchResult(
+        doc_id=doc_id,
+        url=url or f"http://x.example.com/{doc_id}",
+        host="x.example.com",
+        title=f"doc {doc_id}",
+        score=score,
+        source=source,
+    )
+
+
+class TestSingleRoutePassthrough:
+    def test_single_contribution_keeps_raw_scores_and_order(self):
+        results = [result(1, 7.5), result(2, 3.25), result(9, 3.25)]
+        hits = BlendedRanker().blend([("indexed", results, 0)], k=2)
+        assert [h.result for h in hits] == results  # untouched, not truncated
+        assert all(h.route == "indexed" for h in hits)
+
+
+class TestMultiRouteBlend:
+    def test_scores_normalize_per_route(self):
+        a = [result(1, 10.0), result(2, 5.0)]
+        b = [result(-1, 0.5, source="live-vertical", url="live://1")]
+        hits = BlendedRanker().blend([("indexed", a, 0), ("live", b, 0)], k=3)
+        scores = {h.result.doc_id: h.result.score for h in hits}
+        assert scores[1] == 1.0  # each route's best -> 1.0
+        assert scores[-1] == 1.0
+        assert scores[2] == 0.5
+
+    def test_ties_break_by_doc_id(self):
+        a = [result(5, 4.0), result(2, 4.0)]
+        b = [result(7, 2.0)]
+        hits = BlendedRanker().blend([("indexed", a, 0), ("tables", b, 0)], k=3)
+        assert [h.result.doc_id for h in hits][:2] == [2, 5]
+
+    def test_duplicate_documents_keep_one_instance(self):
+        shared = result(3, 8.0, source="webtable")
+        a = [result(1, 9.0), shared]
+        b = [result(3, 1.0, source="webtable")]  # same doc via the tables route
+        hits = BlendedRanker().blend([("indexed", a, 0), ("tables", b, 0)], k=5)
+        assert [h.result.doc_id for h in hits].count(3) == 1
+
+    def test_live_hit_dedups_against_store_document_by_url(self):
+        # A live probe returning a page the store also holds must not
+        # produce two entries: URL is the shared identity.
+        url = "http://cars.example.com/detail?id=9"
+        a = [result(4, 6.0, url=url), result(5, 3.0)]
+        b = [result(-1, 1.0, source="live-vertical", url=url)]
+        hits = BlendedRanker().blend([("indexed", a, 0), ("live", b, 0)], k=5)
+        assert [h.result.url for h in hits].count(url) == 1
+
+    def test_blend_is_deterministic(self):
+        a = [result(1, 3.0), result(4, 2.0)]
+        b = [result(2, 5.0), result(6, 1.0)]
+        ranker = BlendedRanker()
+        first = ranker.blend([("x", a, 0), ("y", b, 0)], k=3)
+        second = ranker.blend([("x", a, 0), ("y", b, 0)], k=3)
+        assert first == second
+
+
+class TestFloors:
+    def test_route_floor_pulls_hits_into_the_head(self):
+        strong = [result(i, 100.0 - i) for i in range(1, 6)]
+        weak = [result(100 + i, 0.01 * (5 - i), source="webtable") for i in range(3)]
+        hits = BlendedRanker().blend([("indexed", strong, 0), ("tables", weak, 2)], k=4)
+        from_tables = [h for h in hits if h.route == "tables"]
+        assert len(from_tables) == 2  # floor honored despite weak scores
+
+    def test_floor_never_pads_beyond_what_a_route_produced(self):
+        strong = [result(i, 50.0 - i) for i in range(1, 5)]
+        weak = [result(200, 0.01, source="webtable")]
+        hits = BlendedRanker().blend([("indexed", strong, 0), ("tables", weak, 3)], k=3)
+        assert len([h for h in hits if h.route == "tables"]) == 1
+
+    def test_final_list_stays_score_ordered(self):
+        strong = [result(i, 10.0 - i) for i in range(1, 8)]
+        weak = [result(300 + i, 1.0 - 0.1 * i, source="webtable") for i in range(4)]
+        hits = BlendedRanker().blend([("indexed", strong, 0), ("tables", weak, 2)], k=5)
+        keys = [(-h.result.score, h.result.doc_id) for h in hits]
+        assert keys == sorted(keys)

