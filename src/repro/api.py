@@ -40,8 +40,10 @@ per-hit provenance and per-route budget accounting in ``report()``.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import IO, Iterable, Mapping, Sequence
 
 from repro.core.surfacer import SiteSurfacingResult, SurfacingConfig
@@ -53,6 +55,7 @@ from repro.query.executor import PlannerStats, PlanResult, QueryExecutor
 from repro.query.plan import QueryPlan
 from repro.query.planner import QueryPlanner
 from repro.search.crawler import CrawlStats, Crawler
+from repro.search.querylog import QueryLog
 from repro.search.engine import (
     SOURCE_SURFACE,
     SOURCE_VERTICAL,
@@ -133,6 +136,12 @@ class _SiteEngineRecorder:
         self._prepared: list[IngestRecord] = []
         self._local_ids: dict[str, int] = {}
         self._host_counts: dict[tuple[str, bool], dict[str, int]] = {}
+
+    @property
+    def prepared(self) -> list[IngestRecord]:
+        """The recorded inserts, in site-local ingestion order (what the
+        surfacing journal checkpoints for a completed site)."""
+        return list(self._prepared)
 
     def add_page(
         self,
@@ -317,6 +326,10 @@ class ServiceReport:
     #: Federated-read provenance: plans executed, routes taken, hits kept
     #: per route, live fetches consumed, blend sizes.
     query_planning: dict[str, object] = field(default_factory=dict)
+    #: Storage provenance: backend kind, doc counts by source, and -- for
+    #: persisted/restored services -- store, journal and snapshot paths
+    #: plus the snapshot age.
+    storage: dict[str, object] = field(default_factory=dict)
 
     def lines(self) -> list[str]:
         """A deterministic, human-readable rendering (no wall-clock)."""
@@ -335,6 +348,14 @@ class ServiceReport:
                 f"{source}={count}" for source, count in sorted(self.index_by_source.items())
             )
             out.append(f"index by source: {by_source}")
+        if self.storage:
+            storage_line = (
+                f"storage: {self.storage.get('backend')} backend, "
+                f"{self.storage.get('documents')} documents"
+            )
+            if self.storage.get("restored_from"):
+                storage_line += " (restored from snapshot)"
+            out.append(storage_line)
         if self.query_planning.get("plans"):
             routes = ", ".join(
                 f"{route}={count}"
@@ -371,6 +392,7 @@ class DeepWebServiceBuilder:
         self._observers: list[PipelineObserver] = []
         self._scheduler: SurfacingScheduler | None = None
         self._serving: dict[str, object] = {}
+        self._persist_dir: Path | None = None
 
     def web(self, web: Web | WebConfig) -> "DeepWebServiceBuilder":
         """Attach an existing :class:`Web` or a :class:`WebConfig` to generate one."""
@@ -426,6 +448,23 @@ class DeepWebServiceBuilder:
             ParallelSurfacingScheduler(max_workers=max_workers, batch_size=batch_size)
         )
 
+    def persist(self, path: str | Path) -> "DeepWebServiceBuilder":
+        """Give the service a durable home directory.
+
+        The content store becomes a
+        :class:`~repro.persist.SqliteBackend` at ``<path>/store.sqlite3``
+        (unless an explicit :meth:`store` backend was supplied), surfacing
+        runs through a :class:`~repro.persist.ResumableSurfacingScheduler`
+        journaled at ``<path>/surfacing.journal`` (unless an explicit
+        :meth:`scheduler` was supplied), and ``service.snapshot()``
+        defaults to ``<path>/snapshot.json``.  Reopening the same
+        directory resumes: stored documents reload, and an interrupted
+        ``surface_many`` continues from the journal with output identical
+        to an uninterrupted run.  Mutually exclusive with :meth:`engine`
+        (persistence must own the storage backend)."""
+        self._persist_dir = Path(path)
+        return self
+
     def serving(
         self,
         workers: int = 4,
@@ -449,10 +488,28 @@ class DeepWebServiceBuilder:
         web = self._web if self._web is not None else generate_web(self._web_config or WebConfig())
         if self._engine is not None and self._store is not None:
             raise ValueError("pass either engine() or store(), not both")
+        store = self._store
+        scheduler = self._scheduler
+        if self._persist_dir is not None:
+            if self._engine is not None:
+                raise ValueError(
+                    "persist() must own the storage backend; combine it with "
+                    "store(), not engine()"
+                )
+            # Imported lazily: repro.persist builds on this module.
+            from repro.persist import ResumableSurfacingScheduler, SqliteBackend
+
+            self._persist_dir.mkdir(parents=True, exist_ok=True)
+            if store is None:
+                store = SqliteBackend(self._persist_dir / "store.sqlite3")
+            if scheduler is None:
+                scheduler = ResumableSurfacingScheduler(
+                    self._persist_dir / "surfacing.journal"
+                )
         if self._engine is not None:
             engine = self._engine
         else:
-            engine = SearchEngine(backend=self._store) if self._store is not None else SearchEngine()
+            engine = SearchEngine(backend=store) if store is not None else SearchEngine()
         metrics = MetricsObserver()
         pipeline = SurfacingPipeline(
             web,
@@ -463,9 +520,11 @@ class DeepWebServiceBuilder:
         )
         return DeepWebService(
             pipeline=pipeline,
-            scheduler=self._scheduler or SurfacingScheduler(),
+            scheduler=scheduler or SurfacingScheduler(),
             metrics=metrics,
             serving=self._serving,
+            web_config=self._web_config,
+            persist_dir=self._persist_dir,
         )
 
 
@@ -478,6 +537,8 @@ class DeepWebService:
         scheduler: SurfacingScheduler | None = None,
         metrics: MetricsObserver | None = None,
         serving: Mapping[str, object] | None = None,
+        web_config: WebConfig | None = None,
+        persist_dir: Path | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.scheduler = scheduler or SurfacingScheduler()
@@ -502,6 +563,18 @@ class DeepWebService:
         self._planner: QueryPlanner | None = None
         self._executor: QueryExecutor | None = None
         self._vertical: VerticalSearchEngine | None = None
+        #: The config the web was generated from, when known -- what lets
+        #: a snapshot restore regenerate the identical world.
+        self.web_config = web_config
+        self.persist_dir = persist_dir
+        #: An optional attached query log; round-trips through snapshots.
+        self.query_log: QueryLog | None = None
+        self._snapshot_path: Path | None = None
+        self._snapshot_created_at: float | None = None
+        self._restored_from: Path | None = None
+        #: Applied to the serving cache when the frontend is first built,
+        #: so a restored frontend starts past every pre-snapshot generation.
+        self._restored_cache_generation = 0
 
     @classmethod
     def build(cls) -> DeepWebServiceBuilder:
@@ -549,7 +622,17 @@ class DeepWebService:
             self._frontend = QueryFrontend(
                 self.engine, executor=self.executor, **self._serving
             )
+            if self._restored_cache_generation:
+                self._frontend.cache.advance_generation(
+                    self._restored_cache_generation
+                )
         return self._frontend
+
+    @property
+    def journal(self):
+        """The surfacing resume journal, when the scheduler keeps one
+        (services built with ``persist()``); ``None`` otherwise."""
+        return getattr(self.scheduler, "journal", None)
 
     @property
     def vertical(self) -> VerticalSearchEngine:
@@ -591,6 +674,51 @@ class DeepWebService:
                 stats=self.planner_stats,
             )
         return self._executor
+
+    # -- persistence --------------------------------------------------------
+
+    def snapshot(self, path: str | Path | None = None) -> Path:
+        """Write a whole-service snapshot: index, surfacing results, crawl
+        stats, WebTables corpus (and therefore the AcsDb), harvest
+        bookkeeping, attached query log and the serving-cache generation.
+
+        With no ``path`` the snapshot lands at
+        ``<persist_dir>/snapshot.json`` (services built with
+        ``persist()``).  Restore with :meth:`restore`; the restored
+        service serves queries immediately with zero re-surfacing."""
+        if path is None:
+            if self.persist_dir is None:
+                raise ValueError(
+                    "snapshot() needs an explicit path unless the service "
+                    "was built with persist()"
+                )
+            path = self.persist_dir / "snapshot.json"
+        from repro.persist.snapshot import snapshot_service
+
+        written = snapshot_service(self, path)
+        self._snapshot_path = written
+        self._snapshot_created_at = time.time()
+        return written
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | Path,
+        web: Web | None = None,
+        store: StorageBackend | None = None,
+    ) -> "DeepWebService":
+        """Rebuild a service from a :meth:`snapshot` file.
+
+        The simulated web regenerates deterministically from the
+        snapshotted :class:`WebConfig` (pass ``web=`` when the original
+        service was built from an explicit :class:`Web`); the stored
+        corpus replays through the shared ingestor into ``store`` (a
+        fresh in-memory backend by default).  Search rankings, scores and
+        doc ids are identical to the snapshotted service, and serving
+        starts without re-crawling, re-surfacing or re-harvesting."""
+        from repro.persist.snapshot import restore_service
+
+        return restore_service(path, web=web, store=store)
 
     # -- operations ---------------------------------------------------------
 
@@ -818,6 +946,35 @@ class DeepWebService:
                 return result
         return None
 
+    def _storage_section(self) -> dict[str, object]:
+        """The report's storage provenance (backend kind, composition,
+        persistence paths, snapshot age)."""
+        stats = self.engine.store_stats()
+        section: dict[str, object] = {
+            "backend": stats.backend,
+            "documents": stats.documents,
+            "by_source": dict(stats.by_source),
+        }
+        if stats.shard_documents:
+            section["shard_documents"] = list(stats.shard_documents)
+        store_path = getattr(self.store, "path", None)
+        if store_path is not None:
+            section["store_path"] = str(store_path)
+        if self.persist_dir is not None:
+            section["persist_dir"] = str(self.persist_dir)
+        if self.journal is not None:
+            section["journal_path"] = str(self.journal.path)
+            section["journaled_sites"] = len(self.journal)
+        if self._snapshot_path is not None:
+            section["snapshot_path"] = str(self._snapshot_path)
+            if self._snapshot_created_at is not None:
+                section["snapshot_age_seconds"] = max(
+                    0.0, time.time() - self._snapshot_created_at
+                )
+        if self._restored_from is not None:
+            section["restored_from"] = str(self._restored_from)
+        return section
+
     def report(self) -> ServiceReport:
         """Summarize everything surfaced and indexed so far."""
         rows = [
@@ -850,4 +1007,5 @@ class DeepWebService:
             sites=rows,
             stage_metrics=self.metrics.as_dict(),
             query_planning=self.planner_stats.as_dict(),
+            storage=self._storage_section(),
         )

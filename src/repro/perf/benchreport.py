@@ -22,9 +22,13 @@ byte-identical against direct ``engine.search`` calls), and the
 ``field:value`` structured + table-lookup queries) planned by the
 federated :class:`~repro.query.planner.QueryPlanner` and served as
 plans, output-checked byte-identical against direct
-:class:`~repro.query.executor.QueryExecutor` runs.  ``--smoke`` runs
-the two serving scenarios once on a tiny world (identity checks only,
-nothing written) -- the CI regression gate.
+:class:`~repro.query.executor.QueryExecutor` runs.  The closing
+``warm_restart`` scenario measures the persistence tier: a cold
+crawl+surface+harvest build against restoring the same service from a
+:meth:`~repro.api.DeepWebService.snapshot` (restored results must be
+byte-identical with zero surfacing fetches).  ``--smoke`` runs the
+serving scenarios plus a warm-restart identity check once on a tiny
+world (identity checks only, nothing written) -- the CI regression gate.
 
 Usage (the console entry point installed by setup.py; the
 ``scripts/bench_report.py`` shim is equivalent for in-repo runs):
@@ -386,6 +390,71 @@ def run_serve_qps(engine, web: Web, max_workers: int, queries: int = 1000, k: in
     }
 
 
+def run_warm_restart(scale: str, queries: int = 100, k: int = 10):
+    """The persistence scenario: cold build-and-surface vs snapshot restore.
+
+    A fresh seeded world is crawled, surfaced and harvested (the cold
+    path), snapshotted to a scratch file, then restored into a new
+    service.  The restored service must answer the same seeded Zipf
+    workload byte-identically *and* perform zero surfacing work (its
+    regenerated web's load meter stays at zero for the surfacer agent),
+    or the report aborts -- a warm restart that quietly re-surfaces
+    would make the restore timing meaningless.
+    """
+    import shutil
+    import tempfile
+
+    from repro.webspace.loadmeter import AGENT_SURFACER
+
+    web_config: WebConfig = SCALES[scale]["web"]
+    service = (
+        DeepWebService.build().web(web_config).surfacing(SURFACING_CONFIG).create()
+    )
+    started = time.perf_counter()
+    service.crawl(max_pages=int(SCALES[scale]["crawl_pages"]))
+    service.surface()
+    service.harvest_tables()
+    cold_seconds = time.perf_counter() - started
+
+    workload = WorkloadGenerator(service.web, seed="bench-restart").stream(queries, k=k)
+    cold_results = [service.search_all(query.text, k=query.k) for query in workload]
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-restart-"))
+    try:
+        started = time.perf_counter()
+        snapshot_path = service.snapshot(scratch / "snapshot.json")
+        snapshot_seconds = time.perf_counter() - started
+        snapshot_bytes = snapshot_path.stat().st_size
+
+        started = time.perf_counter()
+        restored = DeepWebService.restore(snapshot_path)
+        restore_seconds = time.perf_counter() - started
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    warm_results = [restored.search_all(query.text, k=query.k) for query in workload]
+    if warm_results != cold_results:
+        raise SystemExit("FATAL: restored service results diverged from the cold run")
+    surfacing_fetches = restored.web.load_meter.total(agent=AGENT_SURFACER)
+    if surfacing_fetches != 0:
+        raise SystemExit(
+            f"FATAL: restored service performed {surfacing_fetches} surfacing "
+            "fetches (warm restart must serve with zero re-surfacing)"
+        )
+    return {
+        "queries": len(workload),
+        "k": k,
+        "documents": len(restored.engine),
+        "cold_build_seconds": round(cold_seconds, 3),
+        "snapshot_write_seconds": round(snapshot_seconds, 3),
+        "snapshot_bytes": snapshot_bytes,
+        "restore_seconds": round(restore_seconds, 3),
+        "restore_speedup": speedup(cold_seconds, restore_seconds),
+        "identical_restored_results": True,
+        "restored_surfacing_fetches": 0,
+    }
+
+
 # -- report assembly --------------------------------------------------------------
 
 
@@ -396,17 +465,17 @@ def speedup(before: float, after: float) -> float | None:
 def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path) -> dict:
     seed = None
     if seed_ref:
-        print(f"[1/7] seed reference ({seed_ref}) on scale={scale!r} ...")
+        print(f"[1/8] seed reference ({seed_ref}) on scale={scale!r} ...")
         seed = run_seed_reference(seed_ref, scale, root)
         if seed:
             print(
                 f"      surface_many {seed['surface_many_seconds']:.2f}s, "
                 f"url_scaling {seed['url_scaling_seconds']:.2f}s"
             )
-    print(f"[2/7] baseline surface_many (serial, uncached) on scale={scale!r} ...")
+    print(f"[2/8] baseline surface_many (serial, uncached) on scale={scale!r} ...")
     baseline = run_surface_many(scale, parallel=False, cached=False, max_workers=max_workers)
     print(f"      {baseline['seconds']:.2f}s")
-    print("[3/7] optimized surface_many (cached; serial and parallel) ...")
+    print("[3/8] optimized surface_many (cached; serial and parallel) ...")
     optimized_serial = run_surface_many(scale, parallel=False, cached=True, max_workers=max_workers)
     optimized_parallel = run_surface_many(scale, parallel=True, cached=True, max_workers=max_workers)
     print(
@@ -432,14 +501,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         print("      note: seed indexed a different URL count (expected when "
               "behaviour-changing satellites landed); speedups remain workload-level")
 
-    print("[4/7] url-scaling workload (uncached vs cached) ...")
+    print("[4/8] url-scaling workload (uncached vs cached) ...")
     scaling_before = run_url_scaling(cached=False)
     scaling_after = run_url_scaling(cached=True)
     if scaling_before["measurements"] != scaling_after["measurements"]:
         raise SystemExit("FATAL: cached url-scaling output diverged from uncached")
     print(f"      {scaling_before['seconds']:.2f}s -> {scaling_after['seconds']:.2f}s")
 
-    print("[5/7] BM25 micro-benchmark (full sort vs top-k) ...")
+    print("[5/8] BM25 micro-benchmark (full sort vs top-k) ...")
     # Rank over the optimized run's index contents, rebuilt fresh.
     engine = SearchEngine()
     for doc_id, url, host, title, text, source, annotations in optimized["index"]:
@@ -449,14 +518,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         )
     bm25 = run_bm25_micro(engine)
 
-    print("[6/7] serve_qps (seeded Zipf workload through the frontend) ...")
+    print("[6/8] serve_qps (seeded Zipf workload through the frontend) ...")
     serve = run_serve_qps(engine, optimized["web"], max_workers)
     print(
         f"      {serve['qps']:.0f} qps, cache hit rate {serve['cache_hit_rate']:.1%}, "
         f"p99 {serve['latency_p99_ms']:.3f}ms"
     )
 
-    print("[7/7] planner_qps (mixed federated workload through plans) ...")
+    print("[7/8] planner_qps (mixed federated workload through plans) ...")
     planner_service = (
         DeepWebService.build().web(optimized["web"]).engine(engine).create()
     )
@@ -464,6 +533,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
     print(
         f"      {planner['qps']:.0f} qps, cache hit rate {planner['cache_hit_rate']:.1%}, "
         f"{planner['unique_plans']} unique plans"
+    )
+
+    print("[8/8] warm_restart (cold surface vs snapshot restore) ...")
+    restart = run_warm_restart(scale)
+    print(
+        f"      cold {restart['cold_build_seconds']:.2f}s -> restore "
+        f"{restart['restore_seconds']:.2f}s (x{restart['restore_speedup']}, "
+        "restored results byte-identical, zero surfacing fetches)"
     )
 
     surface_before = seed["surface_many_seconds"] if seed else baseline["seconds"]
@@ -510,6 +587,7 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         "bm25_topk": bm25,
         "serve_qps": serve,
         "planner_qps": planner,
+        "warm_restart": restart,
     }
 
 
@@ -538,8 +616,25 @@ def run_smoke(max_workers: int) -> None:
     run_serve_qps(service.engine, service.web, max_workers, queries=200)
     print("smoke: planner_qps identity check ...")
     planner = run_planner_qps(service, queries=200)
+    print("smoke: warm_restart identity check ...")
+    import shutil
+    import tempfile
+
+    from repro.webspace.loadmeter import AGENT_SURFACER
+
+    queries = ["records listings search", "category:used_cars", "red toyota"]
+    cold = [service.search_all(query, k=5) for query in queries]
+    scratch = Path(tempfile.mkdtemp(prefix="bench-smoke-restart-"))
+    try:
+        restored = DeepWebService.restore(service.snapshot(scratch / "snapshot.json"))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    if [restored.search_all(query, k=5) for query in queries] != cold:
+        raise SystemExit("FATAL: restored service results diverged from the cold run")
+    if restored.web.load_meter.total(agent=AGENT_SURFACER) != 0:
+        raise SystemExit("FATAL: restored service performed surfacing fetches")
     print(
-        "smoke: OK (serve and planner outputs byte-identical; "
+        "smoke: OK (serve, planner and restored outputs byte-identical; "
         f"plan shapes {planner['plan_shapes']})"
     )
 
@@ -618,6 +713,12 @@ def main(root: Path | None = None) -> None:
         f"(cache hit rate {planner['cache_hit_rate']:.1%}, "
         f"{planner['unique_plans']} unique plans, "
         "byte-identical to direct executor runs)"
+    )
+    restart = report["warm_restart"]
+    print(
+        f"warm_restart: cold {restart['cold_build_seconds']:.2f}s -> restore "
+        f"{restart['restore_seconds']:.2f}s (x{restart['restore_speedup']}, "
+        "restored results byte-identical, zero surfacing fetches)"
     )
 
     if not args.dry_run:

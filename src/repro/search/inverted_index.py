@@ -110,6 +110,23 @@ class InvertedIndex:
         self._idf_cache.clear()
         self._external_norms = None
 
+    def document_terms(self) -> dict[int, list[tuple[str, int]]]:
+        """Per-document ``(term, frequency)`` pairs, terms sorted.
+
+        The index stores token *counts*, not token order; a token stream
+        rebuilt from these pairs (each term repeated ``frequency`` times)
+        re-indexes to bit-identical state -- :meth:`add_document` only
+        reads the ``Counter`` and the stream length.  This is the export
+        seam persistence snapshots serialize the corpus through.
+        """
+        by_doc: dict[int, list[tuple[str, int]]] = {
+            doc_id: [] for doc_id in self._doc_lengths
+        }
+        for term in sorted(self._postings):
+            for doc_id, frequency in self._postings[term].items():
+                by_doc[doc_id].append((term, frequency))
+        return by_doc
+
     # -- precomputed scoring ingredients ------------------------------------
 
     def _length_norms(self) -> dict[int, float]:

@@ -91,6 +91,18 @@ class QueryResultCache:
         with self._lock:
             self._generation += 1
 
+    def advance_generation(self, to: int) -> None:
+        """Fast-forward the generation counter (never backwards).
+
+        Used when a service is restored from a snapshot: the restored
+        cache starts past every generation the snapshotted process ever
+        stamped, so a pre-snapshot ranking carried across the restart
+        (``put(generation=...)``) can never be served as fresh.
+        """
+        with self._lock:
+            if to > self._generation:
+                self._generation = to
+
     def get(self, query_key: str, k: int) -> tuple[SearchResult, ...] | None:
         """The cached ranking, or ``None`` on miss/stale/expired."""
         with self._lock:

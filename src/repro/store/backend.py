@@ -68,6 +68,17 @@ class StorageBackend(Protocol):
         """Documents of one host, ascending doc id."""
         ...
 
+    def export_records(self) -> list[IngestRecord]:
+        """The stored corpus as re-ingestable records, ascending doc id.
+
+        Re-adding the exported records to an empty backend must reproduce
+        doc ids, rankings and scores exactly.  Token order within a
+        record need not match the original stream -- indexing is count-
+        based -- so backends may reconstruct streams from their postings.
+        This is the seam whole-service snapshots serialize through.
+        """
+        ...
+
     def search(
         self, query_tokens: Sequence[str], limit: int | None = None
     ) -> list[tuple[int, float]]:

@@ -71,6 +71,37 @@ class InMemoryBackend:
     def documents_for_host(self, host: str) -> list[Document]:
         return [doc for doc in self._documents.values() if doc.host == host]
 
+    def export_records(self) -> list[IngestRecord]:
+        """The stored corpus as re-ingestable records, ascending doc id.
+
+        Token *order* is not retained (the index keeps per-term counts),
+        so each document's stream is reconstructed term-sorted; re-adding
+        the records to an empty backend reproduces doc ids, postings and
+        therefore rankings and scores bit for bit (indexing is
+        order-insensitive by construction).
+        """
+        terms = self.index.document_terms()
+        records: list[IngestRecord] = []
+        for doc_id in sorted(self._documents):
+            doc = self._documents[doc_id]
+            tokens = [
+                term
+                for term, frequency in terms.get(doc_id, [])
+                for _ in range(frequency)
+            ]
+            records.append(
+                IngestRecord(
+                    url=doc.url,
+                    host=doc.host,
+                    title=doc.title,
+                    text=doc.text,
+                    tokens=tokens,
+                    source=doc.source,
+                    annotations=dict(doc.annotations),
+                )
+            )
+        return records
+
     # -- querying ------------------------------------------------------------
 
     def search(

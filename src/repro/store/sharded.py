@@ -118,6 +118,36 @@ class ShardedBackend:
         docs.sort(key=lambda doc: doc.doc_id)
         return docs
 
+    def export_records(self) -> list[IngestRecord]:
+        """The stored corpus as re-ingestable records, ascending doc id.
+
+        Same contract as :meth:`InMemoryBackend.export_records`: tokens
+        are reconstructed term-sorted from each shard's postings, which
+        re-indexes to identical global state (scoring only reads counts).
+        """
+        terms_by_shard = [shard.index.document_terms() for shard in self._shards]
+        records: list[IngestRecord] = []
+        for doc_id in sorted(self._doc_to_shard):
+            shard_index = self._doc_to_shard[doc_id]
+            doc = self._shards[shard_index].documents[doc_id]
+            tokens = [
+                term
+                for term, frequency in terms_by_shard[shard_index].get(doc_id, [])
+                for _ in range(frequency)
+            ]
+            records.append(
+                IngestRecord(
+                    url=doc.url,
+                    host=doc.host,
+                    title=doc.title,
+                    text=doc.text,
+                    tokens=tokens,
+                    source=doc.source,
+                    annotations=dict(doc.annotations),
+                )
+            )
+        return records
+
     # -- querying ------------------------------------------------------------
 
     def search(

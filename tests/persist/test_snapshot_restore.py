@@ -1,0 +1,225 @@
+"""Whole-service snapshot/restore: warm restarts with zero re-surfacing.
+
+The tentpole claim: ``service.snapshot(path)`` followed by
+``DeepWebService.restore(path)`` yields a service whose
+``search``/``search_all``/``query()`` answers are byte-identical to the
+original -- ids, order, scores -- while the regenerated web records
+*zero* surfacing work (no crawling, no form probing, no URL fetches by
+the surfacer).  Also pinned here: the report's ``storage`` section, the
+query-log round-trip, and the serving-cache generation fix (a restored
+frontend must never serve a pre-snapshot ranking as fresh).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import DeepWebService
+from repro.core.surfacer import SurfacingConfig
+from repro.perf.benchreport import normalized_index, normalized_results
+from repro.persist import SnapshotError, SqliteBackend
+from repro.search.querylog import Query, QueryLog
+from repro.webspace.loadmeter import AGENT_SURFACER
+from repro.webspace.sitegen import WebConfig, generate_web
+
+pytestmark = pytest.mark.persist
+
+WEB = WebConfig(total_deep_sites=3, surface_site_count=1, max_records=60, seed=3)
+SURFACING = SurfacingConfig(max_urls_per_form=60)
+QUERIES = ["toyota dealer", "price camry", "used honda", "city zipcode"]
+
+
+def build_and_fill() -> DeepWebService:
+    service = (
+        DeepWebService.build()
+        .web(WEB)
+        .surfacing(SURFACING)
+        .serving(workers=2, cache_size=64)
+        .create()
+    )
+    # Build the frontend before ingesting: its ingest listener stamps the
+    # cache generation per document, which the snapshot must carry over.
+    assert service.frontend.cache.generation == 0
+    service.crawl(max_pages=100)
+    service.surface()
+    service.harvest_tables()
+    service.query_log = QueryLog(
+        queries=[
+            Query(text="toyota dealer", kind="head", frequency=40, rank=1),
+            Query(text="used honda", kind="tail", frequency=1, rank=2,
+                  target_host="site.example.com"),
+        ]
+    )
+    return service
+
+
+def answers(service: DeepWebService) -> dict[str, list[tuple]]:
+    out = {}
+    for query in QUERIES:
+        out[f"search:{query}"] = [
+            (r.doc_id, r.url, r.score, r.source) for r in service.search(query, k=15)
+        ]
+        out[f"search_all:{query}"] = [
+            (r.doc_id, r.url, r.score, r.source)
+            for r in service.search_all(query, k=15)
+        ]
+        plan_result = service.query(query, k=10)
+        out[f"query:{query}"] = [
+            (r.doc_id, r.url, r.score, r.source) for r in plan_result.results
+        ]
+    return out
+
+
+@pytest.fixture(scope="module")
+def round_trip(tmp_path_factory):
+    service = build_and_fill()
+    expected = answers(service)
+    # Serve through the frontend so the cache has stamped generations.
+    service.frontend.serve("toyota dealer", k=10)
+    path = service.snapshot(tmp_path_factory.mktemp("snap") / "snapshot.json")
+    restored = DeepWebService.restore(path)
+    return service, restored, expected, path
+
+
+def test_restored_answers_are_byte_identical(round_trip):
+    service, restored, expected, _ = round_trip
+    assert answers(restored) == expected
+    assert normalized_index(restored.engine) == normalized_index(service.engine)
+    assert normalized_results(restored.results) == normalized_results(service.results)
+
+
+def test_restore_does_zero_surfacing_work(round_trip):
+    _, restored, _, _ = round_trip
+    # Answering queries above touched the regenerated web not at all:
+    # the planner's default plans never probe, and the harvest is
+    # settled by the snapshot bookkeeping.
+    assert restored.web.load_meter.total(agent=AGENT_SURFACER) == 0
+    assert restored.web.load_meter.total() == 0
+
+
+def test_restore_round_trips_bookkeeping(round_trip):
+    service, restored, _, path = round_trip
+    assert restored.crawl_stats == service.crawl_stats
+    assert restored.corpus.tables == service.corpus.tables
+    assert restored.corpus.form_schemas == service.corpus.form_schemas
+    assert restored.corpus.form_values == service.corpus.form_values
+    assert restored.corpus.stats == service.corpus.stats
+    assert restored.query_log is not None
+    assert restored.query_log.queries == service.query_log.queries
+    assert restored._harvest_settled == service._harvest_settled
+    assert restored._restored_from == path
+
+
+def test_report_storage_section(round_trip):
+    service, restored, _, path = round_trip
+    section = service.report().storage
+    assert section["backend"] == "memory"
+    assert section["documents"] == len(service.store)
+    assert section["by_source"] == dict(service.store.count_by_source())
+    assert section["snapshot_path"] == str(path)
+    assert section["snapshot_age_seconds"] >= 0.0
+    assert "restored_from" not in section
+
+    restored_section = restored.report().storage
+    assert restored_section["backend"] == "memory"
+    assert restored_section["documents"] == len(service.store)
+    assert restored_section["restored_from"] == str(path)
+
+    lines = restored.report().lines()
+    storage_lines = [line for line in lines if line.startswith("storage:")]
+    assert storage_lines == [
+        f"storage: memory backend, {len(service.store)} documents "
+        "(restored from snapshot)"
+    ]
+
+
+def test_restored_cache_generation_never_serves_stale_rankings(round_trip):
+    """The fix pinned by this test: the restored cache starts one past
+    the snapshotted generation, so a ranking carried across the restart
+    stamped with any pre-snapshot generation can never come back fresh."""
+    service, restored, _, _ = round_trip
+    snapshot_generation = service.frontend.cache.generation
+    assert snapshot_generation > 0  # ingests bumped it; the pin is meaningful
+    cache = restored.frontend.cache
+    assert cache.generation == snapshot_generation + 1
+    # A pre-snapshot entry smuggled into the restored cache is stale on
+    # arrival, for every generation the old process could have stamped.
+    for stale_generation in (0, 1, snapshot_generation):
+        cache.put("toyota dealer", 10, (), generation=stale_generation)
+        assert cache.get("toyota dealer", 10) is None
+    # Entries stamped by the restored process itself serve normally.
+    cache.put("toyota dealer", 10, ())
+    assert cache.get("toyota dealer", 10) == ()
+
+
+def test_restore_into_reopened_sqlite_store(tmp_path):
+    """Restoring against the reopened sqlite file dedups onto its ids."""
+    store = SqliteBackend(tmp_path / "store.sqlite3")
+    service = (
+        DeepWebService.build().web(WEB).surfacing(SURFACING).store(store).create()
+    )
+    service.crawl(max_pages=100)
+    service.surface()
+    expected = [
+        (r.doc_id, r.url, r.score) for r in service.search("toyota dealer", k=20)
+    ]
+    path = service.snapshot(tmp_path / "snapshot.json")
+    service.store.close()
+
+    restored = DeepWebService.restore(path, store=SqliteBackend(tmp_path / "store.sqlite3"))
+    assert restored.store.kind == "sqlite"
+    assert [
+        (r.doc_id, r.url, r.score) for r in restored.search("toyota dealer", k=20)
+    ] == expected
+    assert restored.web.load_meter.total(agent=AGENT_SURFACER) == 0
+    restored.store.close()
+
+
+def test_snapshot_defaults_to_persist_dir(tmp_path):
+    service = (
+        DeepWebService.build()
+        .web(WEB)
+        .surfacing(SURFACING)
+        .persist(tmp_path / "state")
+        .create()
+    )
+    service.crawl(max_pages=50)
+    written = service.snapshot()
+    assert written == tmp_path / "state" / "snapshot.json"
+    assert written.exists()
+    service.store.close()
+
+
+def test_snapshot_without_persist_dir_needs_a_path():
+    service = DeepWebService.build().web(WEB).surfacing(SURFACING).create()
+    with pytest.raises(ValueError, match="explicit path"):
+        service.snapshot()
+
+
+def test_restore_rejects_foreign_and_future_files(tmp_path):
+    not_a_snapshot = tmp_path / "other.json"
+    not_a_snapshot.write_text(json.dumps({"kind": "something-else"}))
+    with pytest.raises(SnapshotError, match="not a service snapshot"):
+        DeepWebService.restore(not_a_snapshot)
+
+    service = DeepWebService.build().web(WEB).surfacing(SURFACING).create()
+    path = service.snapshot(tmp_path / "snap.json")
+    payload = json.loads(path.read_text())
+    payload["format"] = 99
+    future = tmp_path / "future.json"
+    future.write_text(json.dumps(payload))
+    with pytest.raises(SnapshotError, match="format 99"):
+        DeepWebService.restore(future)
+
+
+def test_explicit_web_snapshot_requires_web_on_restore(tmp_path):
+    web = generate_web(WEB)
+    service = DeepWebService.build().web(web).surfacing(SURFACING).create()
+    service.crawl(max_pages=50)
+    path = service.snapshot(tmp_path / "snap.json")
+    with pytest.raises(SnapshotError, match="pass web="):
+        DeepWebService.restore(path)
+    restored = DeepWebService.restore(path, web=generate_web(WEB))
+    assert normalized_index(restored.engine) == normalized_index(service.engine)

@@ -1,0 +1,205 @@
+"""SqliteBackend: protocol conformance, durability, and ranking identity.
+
+The durable backend's contract is strict: every read answer -- ids,
+rankings, bit-identical scores -- must match the in-memory default, both
+while the file is live and after a reopen from disk alone.  The
+adversarial interleaving half of this claim lives in
+``tests/store/test_property_equivalence.py``; here we pin it on a real
+surfaced corpus plus the file-lifecycle behaviors the interleavings
+cannot see (reopen, commit batching, parameter pinning, corruption).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.api import DeepWebService
+from repro.core.surfacer import SurfacingConfig
+from repro.perf.benchreport import normalized_index
+from repro.persist import SqliteBackend, SqliteStoreError
+from repro.store import IngestRecord, InMemoryBackend
+from repro.webspace.sitegen import WebConfig
+
+pytestmark = pytest.mark.persist
+
+WEB = WebConfig(total_deep_sites=3, surface_site_count=1, max_records=60, seed=3)
+SURFACING = SurfacingConfig(max_urls_per_form=60)
+
+
+def make_record(n: int, tokens: list[str] | None = None) -> IngestRecord:
+    return IngestRecord(
+        url=f"http://durable.example.com/page/{n}",
+        host="durable.example.com",
+        title=f"page {n}",
+        text=f"page {n} body",
+        tokens=tokens if tokens is not None else ["alpha", "beta", f"page{n}"],
+        source="surfaced",
+        annotations={"n": str(n)},
+    )
+
+
+def build_service(store=None) -> DeepWebService:
+    builder = DeepWebService.build().web(WEB).surfacing(SURFACING)
+    if store is not None:
+        builder = builder.store(store)
+    return builder.create()
+
+
+# -- protocol conformance ----------------------------------------------------
+
+
+def test_protocol_surface(tmp_path):
+    with SqliteBackend(tmp_path / "store.sqlite3") as backend:
+        assert backend.kind == "sqlite"
+        assert len(backend) == 0
+        first = make_record(1)
+        doc_id = backend.add(first)
+        assert doc_id == 1
+        assert backend.add(make_record(2)) == 2
+        # URL-keyed dedup returns the existing id, stores nothing new.
+        assert backend.add(first) == 1
+        assert len(backend) == 2
+        assert first.url in backend
+        assert backend.doc_id_for_url(first.url) == 1
+        assert backend.get(1).url == first.url
+        assert backend.document_for_url(first.url).doc_id == 1
+        assert [d.doc_id for d in backend.documents()] == [1, 2]
+        assert [d.doc_id for d in backend.documents_for_host("durable.example.com")] == [1, 2]
+        assert backend.count_by_source() == {"surfaced": 2}
+        stats = backend.stats()
+        assert stats.backend == "sqlite"
+        assert stats.documents == 2
+        assert stats.by_source == {"surfaced": 2}
+        hits = backend.search(["alpha"], limit=10)
+        assert [doc_id for doc_id, _ in hits] == [1, 2]
+
+
+def test_search_identical_to_memory_on_surfaced_corpus(tmp_path):
+    """Ids, order and scores match InMemoryBackend on a real corpus."""
+    memory_service = build_service()
+    sqlite_service = build_service(SqliteBackend(tmp_path / "corpus.sqlite3"))
+    for service in (memory_service, sqlite_service):
+        service.crawl(max_pages=100)
+        service.surface()
+    assert normalized_index(sqlite_service.engine) == normalized_index(
+        memory_service.engine
+    )
+    for query in ["toyota dealer", "camry", "price", "zzz-missing"]:
+        expected = [
+            (r.doc_id, r.url, r.score, r.source)
+            for r in memory_service.search(query, k=25)
+        ]
+        got = [
+            (r.doc_id, r.url, r.score, r.source)
+            for r in sqlite_service.search(query, k=25)
+        ]
+        assert got == expected, f"rankings diverged for {query!r}"
+    sqlite_service.store.close()
+
+
+# -- durability across reopen ------------------------------------------------
+
+
+def test_reopen_reproduces_state_and_rankings(tmp_path):
+    path = tmp_path / "reopen.sqlite3"
+    service = build_service(SqliteBackend(path))
+    service.crawl(max_pages=100)
+    service.surface()
+    before_index = normalized_index(service.engine)
+    before_search = [
+        (r.doc_id, r.score) for r in service.search("toyota price", k=50)
+    ]
+    service.store.close()
+
+    reopened = SqliteBackend(path)
+    assert normalized_index_of_backend(reopened) == before_index
+    got = reopened.search("toyota price".split(), limit=50)
+    assert [(doc_id, score) for doc_id, score in got] == before_search
+    reopened.close()
+
+
+def normalized_index_of_backend(backend) -> list[tuple]:
+    return [
+        (doc.doc_id, doc.url, doc.host, doc.title, doc.text, doc.source,
+         tuple(sorted(doc.annotations.items())))
+        for doc in backend.documents()
+    ]
+
+
+def test_export_records_round_trips_tokens_verbatim(tmp_path):
+    tokens = ["zeta", "alpha", "alpha", "mid"]  # deliberately unsorted
+    with SqliteBackend(tmp_path / "export.sqlite3") as backend:
+        backend.add(make_record(1, tokens=tokens))
+        exported = backend.export_records()
+    assert len(exported) == 1
+    assert exported[0].tokens == tokens
+    assert exported[0].annotations == {"n": "1"}
+
+
+# -- commit batching ---------------------------------------------------------
+
+
+def test_commit_batching_and_flush(tmp_path):
+    path = tmp_path / "batch.sqlite3"
+    backend = SqliteBackend(path, commit_every=3)
+    reader = sqlite3.connect(str(path))
+
+    def committed_rows() -> int:
+        return reader.execute("SELECT COUNT(*) FROM documents").fetchone()[0]
+
+    backend.add(make_record(1))
+    backend.add(make_record(2))
+    assert committed_rows() == 0  # below the batch threshold, uncommitted
+    backend.add(make_record(3))
+    assert committed_rows() == 3  # batch boundary commits
+    backend.add(make_record(4))
+    assert committed_rows() == 3
+    backend.flush()
+    assert committed_rows() == 4
+    backend.add(make_record(5))
+    backend.close()  # close commits the tail
+    assert committed_rows() == 5
+    reader.close()
+
+
+def test_commit_every_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        SqliteBackend(tmp_path / "bad.sqlite3", commit_every=0)
+
+
+# -- pinned parameters and corruption ----------------------------------------
+
+
+def test_reopen_with_different_bm25_parameters_is_refused(tmp_path):
+    path = tmp_path / "params.sqlite3"
+    with SqliteBackend(path, k1=1.5, b=0.75) as backend:
+        backend.add(make_record(1))
+    with pytest.raises(SqliteStoreError, match="incompatible store file"):
+        SqliteBackend(path, k1=1.2, b=0.75)
+    with pytest.raises(SqliteStoreError, match="incompatible store file"):
+        SqliteBackend(path, k1=1.5, b=0.5)
+    # The original parameters still open fine.
+    SqliteBackend(path, k1=1.5, b=0.75).close()
+
+
+def test_non_contiguous_doc_ids_are_refused(tmp_path):
+    path = tmp_path / "holes.sqlite3"
+    with SqliteBackend(path) as backend:
+        backend.add(make_record(1))
+        backend.add(make_record(2))
+    raw = sqlite3.connect(str(path))
+    with raw:
+        raw.execute("DELETE FROM documents WHERE doc_id = 1")
+    raw.close()
+    with pytest.raises(SqliteStoreError, match="not contiguous"):
+        SqliteBackend(path)
+
+
+def test_backend_is_not_memory_subclass_in_kind_only(tmp_path):
+    """The service report and storage section key off ``kind``."""
+    with SqliteBackend(tmp_path / "kind.sqlite3") as backend:
+        assert isinstance(backend, InMemoryBackend)
+        assert backend.kind == "sqlite"
+        assert InMemoryBackend().kind != backend.kind

@@ -6,10 +6,11 @@ adversarially: a seeded generator produces ~200-op cases interleaving
 ingests (fresh URLs, duplicate URLs, every source tag, occasional empty
 token streams) with searches (random vocab/nonsense terms, varying k),
 match queries and stat reads -- applied op-for-op to an
-:class:`InMemoryBackend` engine and to :class:`ShardedBackend` engines
-with 3 and 8 shards.  After *every* operation the three implementations
-must agree exactly: same doc ids, same rankings with bit-identical
-scores, same match sets, same stats.
+:class:`InMemoryBackend` engine, to :class:`ShardedBackend` engines with
+3 and 8 shards, and to the durable
+:class:`~repro.persist.SqliteBackend`.  After *every* operation all
+implementations must agree exactly: same doc ids, same rankings with
+bit-identical scores, same match sets, same stats.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datagen import vocab
+from repro.persist import SqliteBackend
 from repro.search.engine import SearchEngine
 from repro.store import IngestRecord, ShardedBackend
 from repro.store.records import (
@@ -68,19 +70,34 @@ def random_query(rng: SeededRng) -> str:
 
 
 class Interleaving:
-    """One seeded op stream applied to all three engines in lockstep."""
+    """One seeded op stream applied to all engines in lockstep.
 
-    def __init__(self, seed: str, ops: int = 200) -> None:
+    ``engines[0]`` (the in-memory reference) defines the expected answer
+    for every op; every other engine must match it exactly.
+    ``extra_backends`` lets callers append further implementations (the
+    sqlite-on-tmpdir backend) to the default memory/sharded trio.
+    """
+
+    def __init__(self, seed: str, ops: int = 200, extra_backends=()) -> None:
         self.rng = SeededRng(seed)
         self.ops = ops
         self.engines = [
             SearchEngine(),
             SearchEngine(backend=ShardedBackend(3)),
             SearchEngine(backend=ShardedBackend(8)),
+            *(SearchEngine(backend=backend) for backend in extra_backends),
         ]
         self.ingested: list[IngestRecord] = []
         self.searches = 0
         self.url_counter = 0
+
+    @property
+    def reference(self) -> SearchEngine:
+        return self.engines[0]
+
+    @property
+    def others(self) -> list[SearchEngine]:
+        return self.engines[1:]
 
     def run(self) -> None:
         for _ in range(self.ops):
@@ -106,7 +123,7 @@ class Interleaving:
         record = random_record(self.rng, self.url_counter)
         self.ingested.append(record)
         ids = [engine.ingest_records([record])[0] for engine in self.engines]
-        assert ids[0] == ids[1] == ids[2], f"doc ids diverged for {record.url}"
+        assert len(set(ids)) == 1, f"doc ids diverged for {record.url}: {ids}"
 
     def op_ingest_duplicate(self) -> None:
         """Re-ingesting a stored URL must return the existing id everywhere."""
@@ -114,25 +131,24 @@ class Interleaving:
             return self.op_ingest_fresh()
         original = self.rng.choice(self.ingested)
         ids = [engine.ingest_records([original])[0] for engine in self.engines]
-        expected = self.engines[0].backend.doc_id_for_url(original.url)
-        assert ids == [expected] * 3
+        expected = self.reference.backend.doc_id_for_url(original.url)
+        assert ids == [expected] * len(self.engines)
 
     def op_search(self) -> None:
         query = random_query(self.rng)
         k = self.rng.choice([1, 3, 10, 50, None])
         self.searches += 1
-        memory, sharded3, sharded8 = self.engines
         if k is None:  # full ranking through the backend seam
             tokens = query.split()
-            expected = memory.backend.search(tokens, limit=None)
-            assert sharded3.backend.search(tokens, limit=None) == expected
-            assert sharded8.backend.search(tokens, limit=None) == expected
+            expected = self.reference.backend.search(tokens, limit=None)
+            for engine in self.others:
+                assert engine.backend.search(tokens, limit=None) == expected
             return
         expected = [
             (r.doc_id, r.url, r.host, r.title, r.score, r.source)
-            for r in memory.search(query, k=k)
+            for r in self.reference.search(query, k=k)
         ]
-        for engine in (sharded3, sharded8):
+        for engine in self.others:
             got = [
                 (r.doc_id, r.url, r.host, r.title, r.score, r.source)
                 for r in engine.search(query, k=k)
@@ -142,39 +158,68 @@ class Interleaving:
     def op_matching_documents(self) -> None:
         query = random_query(self.rng)
         require_all = self.rng.maybe(0.5)
-        memory, sharded3, sharded8 = self.engines
-        expected = [d.doc_id for d in memory.matching_documents(query, require_all=require_all)]
-        for engine in (sharded3, sharded8):
-            got = [d.doc_id for d in engine.matching_documents(query, require_all=require_all)]
+        expected = [
+            d.doc_id
+            for d in self.reference.matching_documents(query, require_all=require_all)
+        ]
+        for engine in self.others:
+            got = [
+                d.doc_id
+                for d in engine.matching_documents(query, require_all=require_all)
+            ]
             assert got == expected
 
     def op_stats(self) -> None:
-        memory, sharded3, sharded8 = self.engines
-        assert len(memory) == len(sharded3) == len(sharded8)
-        assert (
-            memory.count_by_source()
-            == sharded3.count_by_source()
-            == sharded8.count_by_source()
-        )
+        reference = self.reference
+        for engine in self.others:
+            assert len(reference) == len(engine)
+            assert reference.count_by_source() == engine.count_by_source()
         host = f"site{self.rng.randint(0, 5)}.example.com"
-        expected = [d.doc_id for d in memory.documents_for_host(host)]
-        assert [d.doc_id for d in sharded3.documents_for_host(host)] == expected
-        assert [d.doc_id for d in sharded8.documents_for_host(host)] == expected
+        expected = [d.doc_id for d in reference.documents_for_host(host)]
+        for engine in self.others:
+            assert [d.doc_id for d in engine.documents_for_host(host)] == expected
+
+    # -- final-state checks --------------------------------------------------
+
+    def assert_final_state_identical(self) -> None:
+        """Every stored document identical in all backends, URLs unique."""
+        docs = [
+            (d.doc_id, d.url, d.host, d.text, d.source)
+            for d in self.reference.documents()
+        ]
+        for engine in self.others:
+            assert [
+                (d.doc_id, d.url, d.host, d.text, d.source) for d in engine.documents()
+            ] == docs
+        assert len(docs) == len({url for _, url, _, _, _ in docs})
 
 
+@pytest.mark.persist
 @pytest.mark.parametrize("seed", ["case-a", "case-b", "case-c", "case-d"])
-def test_random_interleavings_agree(seed):
-    case = Interleaving(seed, ops=200)
+def test_random_interleavings_agree(seed, tmp_path):
+    sqlite = SqliteBackend(tmp_path / f"{seed}.sqlite3")
+    case = Interleaving(seed, ops=200, extra_backends=[sqlite])
     case.run()
     # The case must have exercised both paths to mean anything.
     assert len(case.ingested) > 40
     assert case.searches > 20
-    # Final-state sweep: every stored document identical in all backends.
-    memory, sharded3, sharded8 = case.engines
-    docs = [(d.doc_id, d.url, d.host, d.text, d.source) for d in memory.documents()]
-    assert [(d.doc_id, d.url, d.host, d.text, d.source) for d in sharded3.documents()] == docs
-    assert [(d.doc_id, d.url, d.host, d.text, d.source) for d in sharded8.documents()] == docs
-    assert len(docs) == len({url for _, url, _, _, _ in docs})
+    case.assert_final_state_identical()
+    sqlite.close()
+
+
+@pytest.mark.persist
+def test_sqlite_engine_agrees_after_reopen(tmp_path):
+    """The durable backend must still agree op-for-op after a reopen
+    (fresh process simulation: state reloaded from the file alone)."""
+    path = tmp_path / "reopen.sqlite3"
+    case = Interleaving("reopen-case", ops=120, extra_backends=[SqliteBackend(path)])
+    case.run()
+    case.engines[-1].backend.close()
+    case.engines[-1] = SearchEngine(backend=SqliteBackend(path))
+    for _ in range(60):  # keep interleaving against the reopened file
+        case.step()
+    case.assert_final_state_identical()
+    case.engines[-1].backend.close()
 
 
 def test_interleavings_are_reproducible():
