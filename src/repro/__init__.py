@@ -43,6 +43,10 @@ The package implements, over a fully simulated web:
   form matching, routing, reformulation, wrappers, vertical search).
 * ``repro.webtables`` -- the WebTables-style corpus and semantic services.
 * ``repro.analysis`` -- long-tail impact analysis and experiment harnesses.
+* ``repro.resilience`` -- deterministic fault injection (seeded per-host
+  error/timeout/outage schedules), bounded retry with seeded backoff,
+  per-host circuit breakers, and the degraded-identity chaos harness
+  (faults shrink answers, never substitute them).
 * ``repro.perf`` -- named timers/counters and the observer bridge used by
   ``scripts/bench_report.py``.
 """
@@ -87,6 +91,15 @@ from repro.query import (
     WebTablesRoute,
     parse_query,
 )
+from repro.resilience import (
+    BreakerRegistry,
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    FaultyWeb,
+    ResilientWeb,
+    RetryPolicy,
+)
 from repro.search.crawler import Crawler
 from repro.search.engine import SOURCE_SURFACED, SearchEngine
 from repro.serve import (
@@ -106,7 +119,13 @@ from repro.store import (
     StoreStats,
 )
 from repro.webspace.sitegen import WebConfig, generate_web
-from repro.webspace.web import Web
+from repro.webspace.web import (
+    FetchError,
+    FetchTimeout,
+    HostUnavailable,
+    TransientFetchError,
+    Web,
+)
 
 __all__ = [
     "__version__",
@@ -158,6 +177,18 @@ __all__ = [
     "IndexedRoute",
     "LiveVerticalRoute",
     "WebTablesRoute",
+    # resilience: typed fetch errors, fault injection, retry, breaking
+    "FetchError",
+    "TransientFetchError",
+    "FetchTimeout",
+    "HostUnavailable",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyWeb",
+    "RetryPolicy",
+    "ResilientWeb",
+    "CircuitBreaker",
+    "BreakerRegistry",
     # query serving
     "QueryFrontend",
     "QueryResultCache",

@@ -68,12 +68,14 @@ from repro.serve.loadgen import WorkloadGenerator, WorkloadQuery
 from repro.store.backend import StorageBackend
 from repro.store.records import IngestRecord
 from repro.util.text import tokenize
+from repro.resilience.faults import FaultPlan, FaultyWeb, ScriptedFaults
+from repro.resilience.retry import BreakerRegistry, ResilientWeb, RetryPolicy
 from repro.webspace.loadmeter import AGENT_WEBTABLES
 from repro.webspace.page import WebPage
 from repro.webspace.site import DeepWebSite
 from repro.virtual.vertical import VerticalSearchEngine
 from repro.webspace.sitegen import WebConfig, generate_web
-from repro.webspace.web import Web
+from repro.webspace.web import FetchError, Web
 from repro.webtables.corpus import TableCorpus
 
 
@@ -302,6 +304,10 @@ class SiteReportRow:
     coverage: float | None
     analysis_load: int
     elapsed_seconds: float
+    #: Fault accounting for the site's surfacing run (zero on a clean web).
+    fetch_errors: int = 0
+    fetch_retries: int = 0
+    degraded: bool = False
 
 
 @dataclass
@@ -330,6 +336,10 @@ class ServiceReport:
     #: persisted/restored services -- store, journal and snapshot paths
     #: plus the snapshot age.
     storage: dict[str, object] = field(default_factory=dict)
+    #: Fault/degradation accounting: meter error/retry totals, per-host
+    #: outcomes, injected-fault counts and breaker states.  Empty (and
+    #: unrendered) on a fault-free run, keeping clean reports byte-stable.
+    resilience: dict[str, object] = field(default_factory=dict)
 
     def lines(self) -> list[str]:
         """A deterministic, human-readable rendering (no wall-clock)."""
@@ -356,6 +366,28 @@ class ServiceReport:
             if self.storage.get("restored_from"):
                 storage_line += " (restored from snapshot)"
             out.append(storage_line)
+        if self.resilience:
+            line = (
+                f"resilience: {self.resilience.get('fetch_errors', 0)} fetch errors, "
+                f"{self.resilience.get('fetch_retries', 0)} retries"
+            )
+            injected = self.resilience.get("injected")
+            if injected:
+                kinds = ", ".join(f"{kind}={count}" for kind, count in injected.items())
+                line += f", injected [{kinds}]"
+            breakers = self.resilience.get("breakers")
+            if breakers:
+                open_hosts = ",".join(breakers.get("open", [])) or "none"
+                line += (
+                    f", breakers: {breakers.get('trips', 0)} trips, "
+                    f"{breakers.get('skips', 0)} refused, open={open_hosts}"
+                )
+            out.append(line)
+        if self.query_planning.get("degraded_plans"):
+            out.append(
+                f"degraded plans: {self.query_planning['degraded_plans']} "
+                "(partial results, never cached)"
+            )
         if self.query_planning.get("plans"):
             routes = ", ".join(
                 f"{route}={count}"
@@ -369,10 +401,15 @@ class ServiceReport:
             )
         for row in self.sites:
             coverage = f"{row.coverage:.0%}" if row.coverage is not None else "n/a"
-            out.append(
+            line = (
                 f"  {row.host:<38s} domain={row.domain:<14s} urls={row.urls_indexed:<4d} "
                 f"coverage={coverage} offline_load={row.analysis_load}"
             )
+            if row.fetch_errors or row.fetch_retries:
+                line += f" errors={row.fetch_errors} retries={row.fetch_retries}"
+                if row.degraded:
+                    line += " degraded"
+            out.append(line)
         return out
 
     def __str__(self) -> str:
@@ -393,6 +430,8 @@ class DeepWebServiceBuilder:
         self._scheduler: SurfacingScheduler | None = None
         self._serving: dict[str, object] = {}
         self._persist_dir: Path | None = None
+        self._fault_plan: FaultPlan | ScriptedFaults | None = None
+        self._resilience: tuple[RetryPolicy | None, BreakerRegistry | None] | None = None
 
     def web(self, web: Web | WebConfig) -> "DeepWebServiceBuilder":
         """Attach an existing :class:`Web` or a :class:`WebConfig` to generate one."""
@@ -465,6 +504,30 @@ class DeepWebServiceBuilder:
         self._persist_dir = Path(path)
         return self
 
+    def faults(self, plan: FaultPlan | ScriptedFaults) -> "DeepWebServiceBuilder":
+        """Inject a deterministic fault plan into every ``Web.fetch``.
+
+        The service's web is wrapped in a
+        :class:`~repro.resilience.faults.FaultyWeb` at :meth:`create`; the
+        plan decides per ``(host, fetch index)`` whether a fetch raises a
+        typed :class:`~repro.webspace.web.FetchError`.  Combine with
+        :meth:`resilience` to also retry and circuit-break those faults."""
+        self._fault_plan = plan
+        return self
+
+    def resilience(
+        self,
+        policy: RetryPolicy | None = None,
+        breakers: BreakerRegistry | None = None,
+    ) -> "DeepWebServiceBuilder":
+        """Wrap every fetch in retry/backoff and per-host circuit breakers.
+
+        Defaults: a standard :class:`~repro.resilience.retry.RetryPolicy`
+        and a fresh :class:`~repro.resilience.retry.BreakerRegistry` with
+        default breaker settings."""
+        self._resilience = (policy, breakers if breakers is not None else BreakerRegistry())
+        return self
+
     def serving(
         self,
         workers: int = 4,
@@ -486,6 +549,11 @@ class DeepWebServiceBuilder:
 
     def create(self) -> "DeepWebService":
         web = self._web if self._web is not None else generate_web(self._web_config or WebConfig())
+        if self._fault_plan is not None:
+            web = FaultyWeb(web, self._fault_plan)
+        if self._resilience is not None:
+            policy, breakers = self._resilience
+            web = ResilientWeb(web, policy=policy, breakers=breakers)
         if self._engine is not None and self._store is not None:
             raise ValueError("pass either engine() or store(), not both")
         store = self._store
@@ -720,6 +788,34 @@ class DeepWebService:
 
         return restore_service(path, web=web, store=store)
 
+    # -- chaos / resilience --------------------------------------------------
+
+    def inject_faults(
+        self,
+        plan: FaultPlan | ScriptedFaults,
+        policy: RetryPolicy | None = None,
+        breakers: BreakerRegistry | None = None,
+    ) -> Web:
+        """Start injecting faults into this (already built) service.
+
+        Wraps the current web in a
+        :class:`~repro.resilience.faults.FaultyWeb` (plus a
+        :class:`~repro.resilience.retry.ResilientWeb` when a retry policy
+        or breaker registry is given) and rewires every fetch consumer --
+        the pipeline context, the prober, and the vertical engine if
+        already built.  The chaos-bench seam: build two identical
+        services, inject faults into one, and compare.  Returns the
+        wrapped web; flip ``plan.enabled`` to pause/resume injection."""
+        wrapped: Web = FaultyWeb(self.web, plan)
+        if policy is not None or breakers is not None:
+            wrapped = ResilientWeb(wrapped, policy=policy, breakers=breakers)
+        ctx = self.pipeline.context
+        ctx.web = wrapped
+        ctx.prober.web = wrapped
+        if self._vertical is not None:
+            self._vertical.web = wrapped
+        return wrapped
+
     # -- operations ---------------------------------------------------------
 
     def crawl(self, max_pages: int = 500) -> CrawlStats:
@@ -822,13 +918,21 @@ class DeepWebService:
             if doc.url in self._harvested_urls:
                 continue
             self._harvested_urls.add(doc.url)
-            page = self.web.fetch(doc.url, agent=AGENT_WEBTABLES)
+            try:
+                page = self.web.fetch(doc.url, agent=AGENT_WEBTABLES)
+            except FetchError:
+                # The page stays marked harvested (the harvest must remain
+                # idempotent); its tables are simply lost to the fault.
+                continue
             admitted += self.corpus.add_page(page)
         for site in self.web.deep_sites():
             if site.host not in self._harvested_form_hosts:
                 self._harvested_form_hosts.add(site.host)
-                homepage = self.web.fetch(site.homepage_url(), agent=AGENT_WEBTABLES)
-                if homepage.ok:
+                try:
+                    homepage = self.web.fetch(site.homepage_url(), agent=AGENT_WEBTABLES)
+                except FetchError:
+                    homepage = None
+                if homepage is not None and homepage.ok:
                     for form in extract_forms(homepage.html, page_url=homepage.url):
                         self.corpus.add_form(form)
             budget = detail_pages_per_site - self._harvested_detail_counts.get(site.host, 0)
@@ -846,7 +950,10 @@ class DeepWebService:
                     self._harvested_detail_counts[site.host] = (
                         self._harvested_detail_counts.get(site.host, 0) + 1
                     )
-                    page = self.web.fetch(url, agent=AGENT_WEBTABLES)
+                    try:
+                        page = self.web.fetch(url, agent=AGENT_WEBTABLES)
+                    except FetchError:
+                        continue
                     admitted += self.corpus.add_page(page)
         self._harvest_settled = (
             len(self.engine),
@@ -975,6 +1082,58 @@ class DeepWebService:
             section["restored_from"] = str(self._restored_from)
         return section
 
+    def _resilience_section(self) -> dict[str, object]:
+        """Fault/degradation accounting for :meth:`report`.
+
+        Returns ``{}`` on a fault-free service (no resilience wrappers and
+        a clean meter), so clean-run reports render byte-identically to
+        pre-resilience builds."""
+        meter = self.web.load_meter
+        errors = meter.errors()
+        retries = meter.retries()
+        faulty: FaultyWeb | None = None
+        resilient: ResilientWeb | None = None
+        layer: Web | None = self.web
+        while layer is not None:
+            if resilient is None and isinstance(layer, ResilientWeb):
+                resilient = layer
+            if faulty is None and isinstance(layer, FaultyWeb):
+                faulty = layer
+            layer = getattr(layer, "inner", None)
+        injected = faulty.fault_counts() if faulty is not None else {}
+        breakers = resilient.breakers if resilient is not None else None
+        trips = breakers.trips() if breakers is not None else 0
+        skips = breakers.skips() if breakers is not None else 0
+        if not errors and not retries and not injected and not trips and not skips:
+            # Installed-but-idle wrappers stay invisible: a clean run's
+            # report is byte-identical with or without the resilience tier.
+            return {}
+        section: dict[str, object] = {
+            "fetch_errors": errors,
+            "fetch_retries": retries,
+        }
+        hosts: dict[str, dict[str, int]] = {}
+        for host in meter.hosts():
+            outcome = meter.outcome(host)
+            if outcome.errors or outcome.retries:
+                hosts[host] = {
+                    "fetches": outcome.fetches,
+                    "errors": outcome.errors,
+                    "retries": outcome.retries,
+                }
+        if hosts:
+            section["hosts"] = hosts
+        if injected:
+            section["injected"] = injected
+        if breakers is not None and (trips or skips):
+            states = breakers.states()
+            section["breakers"] = {
+                "trips": trips,
+                "skips": skips,
+                "open": [host for host, state in states.items() if state != "closed"],
+            }
+        return section
+
     def report(self) -> ServiceReport:
         """Summarize everything surfaced and indexed so far."""
         rows = [
@@ -987,6 +1146,9 @@ class DeepWebService:
                 coverage=result.coverage.true_coverage if result.coverage else None,
                 analysis_load=result.analysis_load,
                 elapsed_seconds=result.elapsed_seconds,
+                fetch_errors=result.fetch_errors,
+                fetch_retries=result.fetch_retries,
+                degraded=result.degraded,
             )
             for result in self.results
         ]
@@ -1008,4 +1170,5 @@ class DeepWebService:
             stage_metrics=self.metrics.as_dict(),
             query_planning=self.planner_stats.as_dict(),
             storage=self._storage_section(),
+            resilience=self._resilience_section(),
         )

@@ -18,9 +18,9 @@ from repro.core.informativeness import (
     default_signature_cache,
 )
 from repro.webspace.loadmeter import AGENT_SURFACER
-from repro.webspace.page import WebPage
+from repro.webspace.page import WebPage, service_unavailable
 from repro.webspace.url import Url
-from repro.webspace.web import Web
+from repro.webspace.web import FetchError, Web
 
 
 @dataclass(frozen=True)
@@ -77,7 +77,18 @@ class FormProber:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        page = self.web.fetch(url, agent=self.agent)
+        try:
+            page = self.web.fetch(url, agent=self.agent)
+        except FetchError as exc:
+            # Degrade to a synthetic 503 page so every downstream consumer
+            # (informativeness tests, template selection, indexability
+            # filters) sees an ordinary non-ok probe.  Deliberately NOT
+            # cached: a later identical probe may succeed.
+            self.probe_count += 1
+            page = service_unavailable(str(url), str(exc))
+            return ProbeResult(
+                url=url, page=page, signature=self.signature_cache.signature(page.html)
+            )
         self.probe_count += 1
         result = ProbeResult(
             url=url, page=page, signature=self.signature_cache.signature(page.html)
@@ -86,6 +97,12 @@ class FormProber:
         return result
 
     def fetch(self, url: Url) -> WebPage:
-        """Fetch an arbitrary URL with the surfacer agent (uncached)."""
+        """Fetch an arbitrary URL with the surfacer agent (uncached).
+
+        Fetch failures degrade to a synthetic 503 page, mirroring
+        :meth:`probe`."""
         self.probe_count += 1
-        return self.web.fetch(url, agent=self.agent)
+        try:
+            return self.web.fetch(url, agent=self.agent)
+        except FetchError as exc:
+            return service_unavailable(str(url), str(exc))

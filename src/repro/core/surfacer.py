@@ -128,7 +128,13 @@ class FormSurfacingResult:
 
 @dataclass
 class SiteSurfacingResult:
-    """Per-site outcome."""
+    """Per-site outcome.
+
+    ``fetch_errors``/``fetch_retries`` are the site's failed and retried
+    surfacer fetches during this run (zero on a fault-free web); a site
+    with any failed fetch is marked ``degraded``: it was surfaced from
+    whatever probes succeeded, never aborted.
+    """
 
     host: str
     domain: str
@@ -140,6 +146,9 @@ class SiteSurfacingResult:
     probes_issued: int = 0
     analysis_load: int = 0
     elapsed_seconds: float = 0.0
+    fetch_errors: int = 0
+    fetch_retries: int = 0
+    degraded: bool = False
     form_results: list[FormSurfacingResult] = field(default_factory=list)
     coverage: CoverageReport | None = None
 

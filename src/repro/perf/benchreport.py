@@ -26,9 +26,14 @@ plans, output-checked byte-identical against direct
 ``warm_restart`` scenario measures the persistence tier: a cold
 crawl+surface+harvest build against restoring the same service from a
 :meth:`~repro.api.DeepWebService.snapshot` (restored results must be
-byte-identical with zero surfacing fetches).  ``--smoke`` runs the
-serving scenarios plus a warm-restart identity check once on a tiny
-world (identity checks only, nothing written) -- the CI regression gate.
+byte-identical with zero surfacing fetches), and the ``degraded_qps``
+scenario replays a mixed plan workload against a fault-injected twin of
+the same service (seeded chaos schedule + retry/breaker tier), verifying
+that faults only ever *shrink* answers: every hit returned under faults
+must be a hit the fault-free run also produces.  ``--smoke`` runs the
+serving scenarios plus warm-restart and degraded-identity checks once on
+a tiny world (identity checks only, nothing written) -- the CI
+regression gate.
 
 Usage (the console entry point installed by setup.py; the
 ``scripts/bench_report.py`` shim is equivalent for in-repo runs):
@@ -455,6 +460,127 @@ def run_warm_restart(scale: str, queries: int = 100, k: int = 10):
     }
 
 
+def run_degraded_qps(
+    scale: str, queries: int = 200, k: int = 10, error_rate: float = 0.25
+):
+    """The resilience scenario: a mixed plan workload under injected faults.
+
+    A crawled + surfaced + harvested service is snapshotted and restored
+    into a twin; the twin gets a seeded chaos schedule (every host faulted
+    at >= 20% base error rate, query-time fetches only) plus the
+    retry/backoff/circuit-breaker tier injected below its fetch path.
+    The identical mixed workload is planned on both services (the plan
+    fingerprints must match), then replayed through
+    :func:`~repro.resilience.chaos.compare_degraded`: cacheable plans must
+    come back byte-identical, and every hit a degraded live plan returns
+    must be a result the fault-free run also produces.  Faults may shrink
+    answers -- they may never change them.  Any violation, a chaos run
+    that injects no faults, or an unhandled fetch exception aborts the
+    report.
+    """
+    import shutil
+    import tempfile
+
+    from repro.resilience import BreakerRegistry, RetryPolicy, compare_degraded
+    from repro.webspace.loadmeter import AGENT_VIRTUAL
+
+    web_config: WebConfig = SCALES[scale]["web"]
+    clean = (
+        DeepWebService.build().web(web_config).surfacing(SURFACING_CONFIG).create()
+    )
+    clean.crawl(max_pages=int(SCALES[scale]["crawl_pages"]))
+    clean.surface()
+    clean.harvest_tables()
+    clean.vertical  # register live hosts before snapshotting
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-degraded-"))
+    try:
+        faulted = DeepWebService.restore(clean.snapshot(scratch / "snapshot.json"))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    faulted.harvest_tables()
+    faulted.vertical  # clean registration; only query-time fetches get faulted
+
+    from repro.serve.loadgen import KIND_STRUCTURED
+
+    generator = WorkloadGenerator(clean.web, seed="bench-degraded")
+    workload = generator.mixed_stream(queries, k=k)
+    # Structured queries go live (the uncacheable route that actually
+    # touches faulted hosts at query time); the rest stay store-only.
+    plans = [
+        clean.plan(
+            query.text, k=query.k, min_per_source=2,
+            live=query.kind == KIND_STRUCTURED,
+        )
+        for query in workload
+    ]
+    twin_plans = [
+        faulted.plan(
+            query.text, k=query.k, min_per_source=2,
+            live=query.kind == KIND_STRUCTURED,
+        )
+        for query in workload
+    ]
+    if [p.fingerprint() for p in plans] != [p.fingerprint() for p in twin_plans]:
+        raise SystemExit(
+            "FATAL: restored twin planned the workload differently than the original"
+        )
+
+    # Transient errors alone are mostly absorbed by the retry tier (which
+    # is the point); hard outage windows on two hosts are non-retryable,
+    # so the degraded path is genuinely exercised, not just the retries.
+    schedule = generator.fault_schedule(
+        error_rate=error_rate,
+        timeout_rate=0.05,
+        outage_hosts=2,
+        agents=(AGENT_VIRTUAL,),
+    )
+    wrapped = faulted.inject_faults(
+        schedule,
+        policy=RetryPolicy(max_attempts=2, seed="bench-degraded"),
+        breakers=BreakerRegistry(),
+    )
+    comparison = compare_degraded(clean, faulted, plans)
+    if not comparison.ok:
+        raise SystemExit(
+            "FATAL: degraded run returned results outside the fault-free universe:\n"
+            + "\n".join(comparison.violations[:10])
+        )
+    faulty = wrapped.inner  # the injection layer under the resilience layer
+    if comparison.live_plans and not faulty.fault_counts():
+        raise SystemExit(
+            "FATAL: live plans executed but no faults were injected "
+            "(chaos schedule broken?)"
+        )
+    meter = faulted.web.load_meter
+    return {
+        "queries": comparison.queries,
+        "k": k,
+        "base_error_rate": error_rate,
+        "faulted_agents": [AGENT_VIRTUAL],
+        "live_plans": comparison.live_plans,
+        "cacheable_plans": comparison.cacheable_plans,
+        "degraded_plans": comparison.degraded_plans,
+        "clean_hits": comparison.clean_hits,
+        "faulted_hits": comparison.faulted_hits,
+        "failed_host_events": comparison.failed_host_events,
+        "injected_faults": faulty.fault_counts(),
+        "retries": meter.retries(agent=AGENT_VIRTUAL),
+        "fetch_errors": meter.errors(agent=AGENT_VIRTUAL),
+        "breaker_trips": wrapped.breakers.trips(),
+        "breaker_refusals": wrapped.breakers.skips(),
+        "clean_seconds": round(comparison.clean_seconds, 3),
+        "faulted_seconds": round(comparison.faulted_seconds, 3),
+        "clean_qps": round(comparison.queries / comparison.clean_seconds, 1)
+        if comparison.clean_seconds
+        else None,
+        "degraded_qps": round(comparison.queries / comparison.faulted_seconds, 1)
+        if comparison.faulted_seconds
+        else None,
+        "subset_identity": True,
+    }
+
+
 # -- report assembly --------------------------------------------------------------
 
 
@@ -465,17 +591,17 @@ def speedup(before: float, after: float) -> float | None:
 def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path) -> dict:
     seed = None
     if seed_ref:
-        print(f"[1/8] seed reference ({seed_ref}) on scale={scale!r} ...")
+        print(f"[1/9] seed reference ({seed_ref}) on scale={scale!r} ...")
         seed = run_seed_reference(seed_ref, scale, root)
         if seed:
             print(
                 f"      surface_many {seed['surface_many_seconds']:.2f}s, "
                 f"url_scaling {seed['url_scaling_seconds']:.2f}s"
             )
-    print(f"[2/8] baseline surface_many (serial, uncached) on scale={scale!r} ...")
+    print(f"[2/9] baseline surface_many (serial, uncached) on scale={scale!r} ...")
     baseline = run_surface_many(scale, parallel=False, cached=False, max_workers=max_workers)
     print(f"      {baseline['seconds']:.2f}s")
-    print("[3/8] optimized surface_many (cached; serial and parallel) ...")
+    print("[3/9] optimized surface_many (cached; serial and parallel) ...")
     optimized_serial = run_surface_many(scale, parallel=False, cached=True, max_workers=max_workers)
     optimized_parallel = run_surface_many(scale, parallel=True, cached=True, max_workers=max_workers)
     print(
@@ -501,14 +627,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         print("      note: seed indexed a different URL count (expected when "
               "behaviour-changing satellites landed); speedups remain workload-level")
 
-    print("[4/8] url-scaling workload (uncached vs cached) ...")
+    print("[4/9] url-scaling workload (uncached vs cached) ...")
     scaling_before = run_url_scaling(cached=False)
     scaling_after = run_url_scaling(cached=True)
     if scaling_before["measurements"] != scaling_after["measurements"]:
         raise SystemExit("FATAL: cached url-scaling output diverged from uncached")
     print(f"      {scaling_before['seconds']:.2f}s -> {scaling_after['seconds']:.2f}s")
 
-    print("[5/8] BM25 micro-benchmark (full sort vs top-k) ...")
+    print("[5/9] BM25 micro-benchmark (full sort vs top-k) ...")
     # Rank over the optimized run's index contents, rebuilt fresh.
     engine = SearchEngine()
     for doc_id, url, host, title, text, source, annotations in optimized["index"]:
@@ -518,14 +644,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         )
     bm25 = run_bm25_micro(engine)
 
-    print("[6/8] serve_qps (seeded Zipf workload through the frontend) ...")
+    print("[6/9] serve_qps (seeded Zipf workload through the frontend) ...")
     serve = run_serve_qps(engine, optimized["web"], max_workers)
     print(
         f"      {serve['qps']:.0f} qps, cache hit rate {serve['cache_hit_rate']:.1%}, "
         f"p99 {serve['latency_p99_ms']:.3f}ms"
     )
 
-    print("[7/8] planner_qps (mixed federated workload through plans) ...")
+    print("[7/9] planner_qps (mixed federated workload through plans) ...")
     planner_service = (
         DeepWebService.build().web(optimized["web"]).engine(engine).create()
     )
@@ -535,12 +661,21 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         f"{planner['unique_plans']} unique plans"
     )
 
-    print("[8/8] warm_restart (cold surface vs snapshot restore) ...")
+    print("[8/9] warm_restart (cold surface vs snapshot restore) ...")
     restart = run_warm_restart(scale)
     print(
         f"      cold {restart['cold_build_seconds']:.2f}s -> restore "
         f"{restart['restore_seconds']:.2f}s (x{restart['restore_speedup']}, "
         "restored results byte-identical, zero surfacing fetches)"
+    )
+
+    print("[9/9] degraded_qps (mixed plan workload under injected faults) ...")
+    degraded = run_degraded_qps(scale)
+    print(
+        f"      {degraded['degraded_plans']}/{degraded['queries']} plans degraded at "
+        f"{degraded['base_error_rate']:.0%} base error rate "
+        f"({degraded['retries']} retries, {degraded['breaker_trips']} breaker trips; "
+        "every faulted hit verified against the fault-free universe)"
     )
 
     surface_before = seed["surface_many_seconds"] if seed else baseline["seconds"]
@@ -588,6 +723,7 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         "serve_qps": serve,
         "planner_qps": planner,
         "warm_restart": restart,
+        "degraded_qps": degraded,
     }
 
 
@@ -633,8 +769,48 @@ def run_smoke(max_workers: int) -> None:
         raise SystemExit("FATAL: restored service results diverged from the cold run")
     if restored.web.load_meter.total(agent=AGENT_SURFACER) != 0:
         raise SystemExit("FATAL: restored service performed surfacing fetches")
+    print("smoke: degraded identity check (faults shrink answers, never change them) ...")
+    from repro.resilience import BreakerRegistry, RetryPolicy, compare_degraded
+    from repro.webspace.loadmeter import AGENT_VIRTUAL
+
+    service.vertical  # live hosts registered before the twin copies the stores
+    scratch = Path(tempfile.mkdtemp(prefix="bench-smoke-degraded-"))
+    try:
+        twin = DeepWebService.restore(service.snapshot(scratch / "snapshot.json"))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    twin.harvest_tables()
+    twin.vertical  # clean registration; only query-time fetches get faulted
+    from repro.serve.loadgen import KIND_STRUCTURED
+
+    generator = WorkloadGenerator(service.web, seed="smoke-degraded")
+    workload = generator.mixed_stream(40, k=5)
+    plans = [
+        service.plan(query.text, k=query.k, min_per_source=2,
+                     live=query.kind == KIND_STRUCTURED)
+        for query in workload
+    ]
+    twin_plans = [
+        twin.plan(query.text, k=query.k, min_per_source=2,
+                  live=query.kind == KIND_STRUCTURED)
+        for query in workload
+    ]
+    if [p.fingerprint() for p in plans] != [p.fingerprint() for p in twin_plans]:
+        raise SystemExit("FATAL: restored twin planned the workload differently")
+    twin.inject_faults(
+        generator.fault_schedule(error_rate=0.3, timeout_rate=0.1, agents=(AGENT_VIRTUAL,)),
+        policy=RetryPolicy(max_attempts=2, seed="smoke-degraded"),
+        breakers=BreakerRegistry(),
+    )
+    comparison = compare_degraded(service, twin, plans)
+    if not comparison.ok:
+        raise SystemExit(
+            "FATAL: degraded run returned results outside the fault-free universe:\n"
+            + "\n".join(comparison.violations[:10])
+        )
+    print(f"smoke: {comparison.describe()}")
     print(
-        "smoke: OK (serve, planner and restored outputs byte-identical; "
+        "smoke: OK (serve, planner, restored and degraded outputs verified; "
         f"plan shapes {planner['plan_shapes']})"
     )
 
@@ -719,6 +895,13 @@ def main(root: Path | None = None) -> None:
         f"warm_restart: cold {restart['cold_build_seconds']:.2f}s -> restore "
         f"{restart['restore_seconds']:.2f}s (x{restart['restore_speedup']}, "
         "restored results byte-identical, zero surfacing fetches)"
+    )
+    degraded = report["degraded_qps"]
+    print(
+        f"degraded_qps: {degraded['degraded_plans']}/{degraded['queries']} plans "
+        f"degraded at {degraded['base_error_rate']:.0%} base error rate, "
+        f"{degraded['clean_qps']} -> {degraded['degraded_qps']} qps "
+        "(faulted hits verified a subset of the fault-free universe)"
     )
 
     if not args.dry_run:

@@ -156,16 +156,29 @@ class SurfacingPipeline:
     def surface_site(self, site: DeepWebSite) -> SiteSurfacingResult:
         """Run the full staged pipeline for one site."""
         started = time.perf_counter()
-        load_before = self.web.load_meter.total(host=site.host, agent=AGENT_SURFACER)
+        meter = self.web.load_meter
+        load_before = meter.total(host=site.host, agent=AGENT_SURFACER)
         probes_before = self.prober.probe_count
+        errors_before = meter.errors(host=site.host, agent=AGENT_SURFACER)
+        retries_before = meter.retries(host=site.host, agent=AGENT_SURFACER)
+
+        def finalize(result: SiteSurfacingResult) -> SiteSurfacingResult:
+            result.fetch_errors = (
+                meter.errors(host=site.host, agent=AGENT_SURFACER) - errors_before
+            )
+            result.fetch_retries = (
+                meter.retries(host=site.host, agent=AGENT_SURFACER) - retries_before
+            )
+            result.degraded = result.fetch_errors > 0
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
 
         ctx = self.context.for_site(site)
         result = ctx.site_result
         for stage in self._site_stages():
             ctx = self._run_stage(stage, ctx)
         if not ctx.homepage_ok:
-            result.elapsed_seconds = time.perf_counter() - started
-            return result
+            return finalize(result)
 
         for form in ctx.forms:
             if not form.is_get:
@@ -188,11 +201,10 @@ class SurfacingPipeline:
 
         result.probes_issued = self.prober.probe_count - probes_before
         result.analysis_load = (
-            self.web.load_meter.total(host=site.host, agent=AGENT_SURFACER) - load_before
+            meter.total(host=site.host, agent=AGENT_SURFACER) - load_before
         )
         result.coverage = self.coverage_estimator.report(site, result.record_sets)
-        result.elapsed_seconds = time.perf_counter() - started
-        return result
+        return finalize(result)
 
     def _surface_form(self, site_ctx: PipelineContext, form: SurfacingForm) -> FormSurfacingResult:
         ctx = site_ctx.for_form(form)

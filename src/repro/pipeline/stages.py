@@ -38,6 +38,7 @@ from repro.pipeline.context import PipelineContext
 from repro.search.engine import SOURCE_SURFACED
 from repro.util.text import tokenize
 from repro.webspace.loadmeter import AGENT_SURFACER
+from repro.webspace.web import FetchError
 
 #: Stage scopes.
 SCOPE_SITE = "site"
@@ -63,7 +64,14 @@ class FormDiscoveryStage:
     scope = SCOPE_SITE
 
     def run(self, ctx: PipelineContext) -> PipelineContext:
-        homepage = ctx.web.fetch(ctx.site.homepage_url(), agent=AGENT_SURFACER)
+        try:
+            homepage = ctx.web.fetch(ctx.site.homepage_url(), agent=AGENT_SURFACER)
+        except FetchError:
+            # An unreachable homepage degrades the site to "no forms found";
+            # the scheduler records the skip and moves on.  Only fetch
+            # errors are absorbed -- parser bugs must propagate.
+            ctx.homepage_ok = False
+            return ctx
         if not homepage.ok:
             ctx.homepage_ok = False
             return ctx

@@ -31,6 +31,7 @@ from repro.query.plan import (
 )
 from repro.search.engine import SearchEngine, SearchResult
 from repro.store.records import SOURCE_WEBTABLE
+from repro.webspace.web import FetchError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.virtual.vertical import VerticalSearchEngine
@@ -46,7 +47,14 @@ class PlanHit:
 
 @dataclass(frozen=True)
 class RouteOutcome:
-    """What one route did during a plan execution."""
+    """What one route did during a plan execution.
+
+    Degraded provenance: ``degraded`` is True when the route lost work to
+    fetch failures -- it returned *less* than a fault-free execution would
+    have, never anything different.  ``failed_hosts`` names the hosts whose
+    query-time fetches failed (live route only) and ``error`` carries a
+    short description of the failure mode.
+    """
 
     route: str
     produced: int
@@ -54,16 +62,28 @@ class RouteOutcome:
     fetches_spent: int
     seconds: float
     skipped: bool = False
+    degraded: bool = False
+    failed_hosts: tuple[str, ...] = ()
+    error: str = ""
 
 
 @dataclass
 class PlanResult:
-    """The outcome of executing one plan, provenance included."""
+    """The outcome of executing one plan, provenance included.
+
+    ``degraded`` (any route degraded) marks a partial answer: under the
+    no-wrong-answers invariant every hit is one the fault-free execution
+    also produces, but some may be missing.  The serving frontend refuses
+    to cache degraded results.
+    """
 
     plan: QueryPlan
     hits: list[PlanHit] = field(default_factory=list)
     routes: list[RouteOutcome] = field(default_factory=list)
     cached: bool = False
+    #: Pre-blend per-route contributions ``(route name, results)``;
+    #: populated only by ``execute(..., keep_raw=True)`` (chaos harness).
+    raw: tuple[tuple[str, tuple[SearchResult, ...]], ...] | None = None
 
     @property
     def results(self) -> list[SearchResult]:
@@ -73,6 +93,19 @@ class PlanResult:
     @property
     def live_fetches_spent(self) -> int:
         return sum(outcome.fetches_spent for outcome in self.routes)
+
+    @property
+    def degraded(self) -> bool:
+        return any(outcome.degraded for outcome in self.routes)
+
+    @property
+    def failed_hosts(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for outcome in self.routes:
+            for host in outcome.failed_hosts:
+                if host not in seen:
+                    seen.append(host)
+        return tuple(seen)
 
     def routes_taken(self) -> tuple[str, ...]:
         return tuple(outcome.route for outcome in self.routes if not outcome.skipped)
@@ -91,6 +124,7 @@ class PlannerStats:
         self.plans = 0
         self.empty_plans = 0
         self.cached_plans = 0
+        self.degraded_plans = 0
         self.live_fetches = 0
         self.blended_results = 0
         self.routes_taken: dict[str, int] = {}
@@ -103,6 +137,8 @@ class PlannerStats:
                 self.empty_plans += 1
             if result.cached:
                 self.cached_plans += 1
+            if result.degraded:
+                self.degraded_plans += 1
             self.live_fetches += result.live_fetches_spent
             self.blended_results += len(result.hits)
             for outcome in result.routes:
@@ -121,6 +157,7 @@ class PlannerStats:
                 "plans": self.plans,
                 "empty_plans": self.empty_plans,
                 "cached_plans": self.cached_plans,
+                "degraded_plans": self.degraded_plans,
                 "live_fetches": self.live_fetches,
                 "blended_results": self.blended_results,
                 "routes_taken": dict(sorted(self.routes_taken.items())),
@@ -213,12 +250,15 @@ class QueryExecutor:
         self.stats = stats or PlannerStats()
         self._clock = clock
 
-    def execute(self, plan: QueryPlan) -> PlanResult:
+    def execute(self, plan: QueryPlan, keep_raw: bool = False) -> PlanResult:
         """Run every route in plan order and blend the outputs.
 
         Empty plans return an empty result without refreshing, probing
         or ranking anything -- the one query contract shared by every
-        read layer.
+        read layer.  ``keep_raw=True`` additionally attaches the pre-blend
+        per-route contributions to the result (used by the chaos harness
+        to check the degraded-subset invariant against the full candidate
+        pool, not just the blended top-k).
         """
         if plan.is_empty:
             result = PlanResult(plan=plan)
@@ -228,7 +268,7 @@ class QueryExecutor:
         if self._refresh is not None:
             self._refresh()
         contributions: list[tuple[str, list[SearchResult], int]] = []
-        raw: list[tuple[str, int, int, float, bool]] = []
+        raw: list[tuple[str, int, int, float, bool, tuple[str, ...], str]] = []
         #: Per-execution memo so the indexed floor path and the webtables
         #: route share one full ranking instead of ranking the corpus twice.
         shared: dict[str, list[SearchResult]] = {}
@@ -236,6 +276,8 @@ class QueryExecutor:
             route_started = self._clock()
             skipped = False
             fetches = 0
+            failed_hosts: tuple[str, ...] = ()
+            error = ""
             if isinstance(route, IndexedRoute):
                 results = self._run_indexed(plan, route, shared)
             elif isinstance(route, WebTablesRoute):
@@ -249,12 +291,20 @@ class QueryExecutor:
                     # the offline routes; don't pile load onto live sites.
                     results, skipped = [], True
                 else:
-                    results, fetches = self._run_live(plan, route)
+                    results, fetches, failed_hosts, error = self._run_live(plan, route)
             else:  # pragma: no cover - the Route union is closed
                 raise TypeError(f"unknown route operator {route!r}")
             contributions.append((route.name, results, getattr(route, "floor", 0)))
             raw.append(
-                (route.name, len(results), fetches, self._clock() - route_started, skipped)
+                (
+                    route.name,
+                    len(results),
+                    fetches,
+                    self._clock() - route_started,
+                    skipped,
+                    failed_hosts,
+                    error,
+                )
             )
         hits = self._ranker.blend(contributions, plan.k)
         kept: dict[str, int] = {}
@@ -268,10 +318,17 @@ class QueryExecutor:
                 fetches_spent=fetches,
                 seconds=seconds,
                 skipped=skipped,
+                degraded=bool(failed_hosts) or bool(error),
+                failed_hosts=failed_hosts,
+                error=error,
             )
-            for name, produced, fetches, seconds, skipped in raw
+            for name, produced, fetches, seconds, skipped, failed_hosts, error in raw
         ]
         result = PlanResult(plan=plan, hits=hits, routes=outcomes)
+        if keep_raw:
+            result.raw = tuple(
+                (name, tuple(results)) for name, results, _floor in contributions
+            )
         self.stats.record(result)
         return result
 
@@ -336,24 +393,30 @@ class QueryExecutor:
 
     def _run_live(
         self, plan: QueryPlan, route: LiveVerticalRoute
-    ) -> tuple[list[SearchResult], int]:
+    ) -> tuple[list[SearchResult], int, tuple[str, ...], str]:
         """Budgeted query-time probing through the vertical engine.
 
         Probe records are minted into result rows with deterministic
         negative doc ids (they have no store document); scores decay by
         extraction rank so the blend's normalization sees a proper
-        ranking.
+        ranking.  Per-host fetch failures are absorbed inside the probe
+        (partial records kept, the host recorded in ``failed_hosts``); a
+        :class:`FetchError` escaping the probe itself degrades the whole
+        route to whatever the other routes return.
         """
         vertical = self._vertical_provider() if self._vertical_provider else None
         if vertical is None or not route.hosts:
-            return [], 0
-        answer = vertical.probe(
-            route.hosts,
-            query=plan.query.keyword_text() or plan.query.text,
-            filters=plan.query.filters_dict() or None,
-            fetch_budget=route.fetch_budget,
-            max_results=route.max_results,
-        )
+            return [], 0, (), ""
+        try:
+            answer = vertical.probe(
+                route.hosts,
+                query=plan.query.keyword_text() or plan.query.text,
+                filters=plan.query.filters_dict() or None,
+                fetch_budget=route.fetch_budget,
+                max_results=route.max_results,
+            )
+        except FetchError as exc:
+            return [], 0, tuple(route.hosts), str(exc)
         results = [
             SearchResult(
                 doc_id=-(index + 1),
@@ -365,4 +428,4 @@ class QueryExecutor:
             )
             for index, record in enumerate(answer.records)
         ]
-        return results, answer.fetches_issued
+        return results, answer.fetches_issued, tuple(answer.failed_hosts), ""

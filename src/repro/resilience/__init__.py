@@ -1,0 +1,66 @@
+"""Deterministic fault injection and the retry/breaker resilience tier.
+
+Two wrappers around :class:`~repro.webspace.web.Web` compose the whole
+story: :class:`FaultyWeb` *injects* seeded faults (errors, timeout
+stalls, outage windows, latency) below, :class:`ResilientWeb` *absorbs*
+them above with bounded retries, seeded backoff jitter and per-host
+circuit breakers.  Every decision is a pure function of ``(seed, host,
+fetch-index)`` or ``(seed, url, attempt)``, so a chaos run replays bit
+for bit regardless of thread interleaving.  :mod:`repro.resilience.chaos`
+checks the degradation contract: faults shrink answers, never change
+them.
+"""
+
+from repro.resilience.chaos import (
+    DegradedComparison,
+    compare_degraded,
+    hit_identity,
+    widen_plan,
+)
+from repro.resilience.faults import (
+    DECISION_OK,
+    KIND_ERROR,
+    KIND_OK,
+    KIND_OUTAGE,
+    KIND_TIMEOUT,
+    FaultDecision,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    FaultyWeb,
+    ScriptedFaults,
+)
+from repro.resilience.retry import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerRegistry,
+    CircuitBreaker,
+    ResilientWeb,
+    RetryPolicy,
+)
+
+__all__ = [
+    "DECISION_OK",
+    "KIND_ERROR",
+    "KIND_OK",
+    "KIND_OUTAGE",
+    "KIND_TIMEOUT",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "DegradedComparison",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyWeb",
+    "ResilientWeb",
+    "RetryPolicy",
+    "ScriptedFaults",
+    "compare_degraded",
+    "hit_identity",
+    "widen_plan",
+]

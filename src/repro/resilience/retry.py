@@ -1,0 +1,294 @@
+"""Retry with deterministic backoff, and per-host circuit breakers.
+
+:class:`RetryPolicy` bounds attempts and computes exponential backoff with
+*seeded* jitter: the jitter for attempt ``n`` of a fetch is keyed on
+``(policy seed, url, n)``, never on shared mutable state, so retry schedules
+replay identically across runs and thread interleavings.  Delays are
+accounted in virtual time by default (no real sleeping) so chaos tests run at
+full speed; pass a ``sleeper`` to make them real.
+
+:class:`CircuitBreaker` is the classic closed -> open -> half-open machine
+over a sliding window of recent outcomes, with an injectable clock for
+testing.  :class:`ResilientWeb` combines both over any :class:`Web`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.util.rng import SeededRng
+from repro.webspace.loadmeter import AGENT_CRAWLER
+from repro.webspace.page import WebPage
+from repro.webspace.url import Url
+from repro.webspace.web import FetchError, FetchTimeout, HostUnavailable, Web
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``backoff_delay(key, attempt)`` returns
+    ``min(max_delay, base_delay * multiplier**(attempt-1))`` scaled by a
+    jitter factor in ``[1-jitter, 1+jitter]`` drawn from
+    ``SeededRng(f"{seed}/{key}/{attempt}")``.  ``total_deadline`` caps the
+    virtual time (backoff delays plus timeout stalls) one logical fetch may
+    burn across retries; when it would be exceeded the fetch fails with
+    :class:`FetchTimeout` instead of retrying further.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    attempt_deadline: float = 1.0
+    total_deadline: Optional[float] = 10.0
+    seed: Union[int, str] = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Deterministic delay before retry number ``attempt`` (1-based)."""
+        base = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0:
+            return base
+        rng = SeededRng(f"{self.seed}/{key}/{attempt}")
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base * factor
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open breaker over a sliding outcome window.
+
+    While *closed*, outcomes accumulate in a window of the last ``window``
+    calls; once at least ``min_calls`` outcomes are present and the failure
+    rate reaches ``failure_threshold``, the breaker *opens* and ``allow()``
+    refuses everything until ``cooldown`` seconds pass on ``clock``.  It then
+    goes *half-open*, letting through up to ``half_open_probes`` probe calls:
+    if all succeed it re-closes with a fresh window; any failure re-opens it
+    and restarts the cooldown.  Thread-safe; the clock is injectable so the
+    state machine is unit-testable without real waiting.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_calls: int = 5,
+        cooldown: float = 30.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if window < 1 or min_calls < 1 or half_open_probes < 1:
+            raise ValueError("window, min_calls and half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_calls = min_calls
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = STATE_CLOSED
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        self._probe_successes = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        # An open breaker whose cooldown has elapsed reports (and becomes)
+        # half-open lazily, on observation.
+        if self._state == STATE_OPEN and self.clock() - self._opened_at >= self.cooldown:
+            self._state = STATE_HALF_OPEN
+            self._probes_issued = 0
+            self._probe_successes = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts half-open probes)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == STATE_CLOSED:
+                return True
+            if state == STATE_HALF_OPEN and self._probes_issued < self.half_open_probes:
+                self._probes_issued += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == STATE_HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = STATE_CLOSED
+                    self._outcomes.clear()
+                return
+            if state == STATE_CLOSED:
+                self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == STATE_HALF_OPEN:
+                self._trip_locked()
+                return
+            if state == STATE_CLOSED:
+                self._outcomes.append(False)
+                if len(self._outcomes) >= self.min_calls:
+                    failures = sum(1 for ok in self._outcomes if not ok)
+                    if failures / len(self._outcomes) >= self.failure_threshold:
+                        self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self.clock()
+        self._outcomes.clear()
+        self.trips += 1
+
+
+class BreakerRegistry:
+    """Lazily creates one :class:`CircuitBreaker` per host.
+
+    ``breaker_kwargs`` are passed to every created breaker, so a registry
+    fully determines the fleet's breaker configuration.  Tracks per-host
+    refused calls (``skips``) so degradation caused by open breakers is
+    visible even though no fetch reached the host.
+    """
+
+    def __init__(self, **breaker_kwargs) -> None:
+        self._kwargs = breaker_kwargs
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._skips: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def for_host(self, host: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(host)
+            if breaker is None:
+                breaker = CircuitBreaker(**self._kwargs)
+                self._breakers[host] = breaker
+            return breaker
+
+    def record_skip(self, host: str) -> None:
+        with self._lock:
+            self._skips[host] = self._skips.get(host, 0) + 1
+
+    def skips(self, host: Optional[str] = None) -> int:
+        with self._lock:
+            if host is not None:
+                return self._skips.get(host, 0)
+            return sum(self._skips.values())
+
+    def states(self) -> dict[str, str]:
+        """Mapping host -> breaker state, sorted by host."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {host: breaker.state for host, breaker in sorted(items)}
+
+    def open_hosts(self) -> list[str]:
+        return [host for host, state in self.states().items() if state != STATE_CLOSED]
+
+    def trips(self) -> int:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return sum(b.trips for b in breakers)
+
+
+class ResilientWeb(Web):
+    """A :class:`Web` that retries transient failures and honors breakers.
+
+    Wraps any web (typically a :class:`~repro.resilience.faults.FaultyWeb`):
+    each ``fetch`` first consults the host's breaker (an open breaker fails
+    fast with :class:`HostUnavailable`, metered as an error), then attempts
+    the inner fetch under ``policy`` -- retrying retryable errors with
+    deterministic backoff until attempts or the virtual-time deadline run
+    out.  Retries are metered via ``LoadMeter.record_retry``; every outcome
+    feeds the host's breaker.  Shares the inner web's registry and meter.
+    """
+
+    def __init__(
+        self,
+        inner: Web,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.breakers = breakers
+        self.sleeper = sleeper
+        self._sites = inner._sites
+        self.load_meter = inner.load_meter
+        self._stats_lock = threading.Lock()
+        self.retry_delay_total = 0.0
+        self.exhausted_fetches = 0
+
+    def fetch(self, url: Union[Url, str], agent: str = AGENT_CRAWLER) -> WebPage:
+        if isinstance(url, str):
+            url = Url.parse(url)
+        host = url.host
+        breaker = self.breakers.for_host(host) if self.breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            self.breakers.record_skip(host)
+            self.load_meter.record_error(host, agent)
+            raise HostUnavailable(str(url), "circuit breaker open")
+        policy = self.policy
+        spent = 0.0
+        attempt = 1
+        while True:
+            try:
+                page = self.inner.fetch(url, agent=agent)
+            except FetchError as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                spent += getattr(exc, "stalled_seconds", 0.0)
+                out_of_attempts = not exc.retryable or attempt >= policy.max_attempts
+                if out_of_attempts:
+                    with self._stats_lock:
+                        self.exhausted_fetches += 1
+                    raise
+                delay = policy.backoff_delay(str(url), attempt)
+                if (
+                    policy.total_deadline is not None
+                    and spent + delay > policy.total_deadline
+                ):
+                    with self._stats_lock:
+                        self.exhausted_fetches += 1
+                    raise FetchTimeout(
+                        str(url), "retry budget exhausted", stalled_seconds=spent
+                    ) from exc
+                spent += delay
+                self.load_meter.record_retry(host, agent)
+                with self._stats_lock:
+                    self.retry_delay_total += delay
+                if self.sleeper is not None:
+                    self.sleeper(delay)
+                attempt += 1
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return page

@@ -22,17 +22,23 @@ from repro.store.ingest import Ingestor
 from repro.webspace.loadmeter import AGENT_CRAWLER
 from repro.webspace.site import DeepWebSite
 from repro.webspace.url import Url
-from repro.webspace.web import Web
+from repro.webspace.web import FetchError, Web
 
 
 @dataclass
 class CrawlStats:
-    """Bookkeeping for one crawl."""
+    """Bookkeeping for one crawl.
+
+    ``fetch_errors`` counts fetches lost to :class:`FetchError` (injected
+    faults, exhausted retries, open breakers); those pages are skipped and
+    the crawl continues -- a flaky host never aborts a crawl.
+    """
 
     fetched: int = 0
     indexed: int = 0
     skipped_errors: int = 0
     skipped_duplicates: int = 0
+    fetch_errors: int = 0
     frontier_exhausted: bool = False
     pages_per_host: dict[str, int] = field(default_factory=dict)
 
@@ -95,7 +101,16 @@ class Crawler:
                 if stats.pages_per_host.get(url.host, 0) >= max_pages_per_host:
                     continue
             self._visited.add(url_text)
-            page = self.web.fetch(url, agent=self.agent)
+            try:
+                page = self.web.fetch(url, agent=self.agent)
+            except FetchError:
+                # Only fetch failures are absorbed; parser or indexing bugs
+                # must keep propagating.
+                stats.fetched += 1
+                stats.pages_per_host[url.host] = stats.pages_per_host.get(url.host, 0) + 1
+                stats.skipped_errors += 1
+                stats.fetch_errors += 1
+                continue
             stats.fetched += 1
             stats.pages_per_host[url.host] = stats.pages_per_host.get(url.host, 0) + 1
             if not page.ok:
@@ -117,7 +132,10 @@ class Crawler:
         """Fetch one URL and index it; returns True when it was indexed."""
         parsed = url if isinstance(url, Url) else Url.parse(url)
         self._visited.add(str(parsed))
-        page = self.web.fetch(parsed, agent=self.agent)
+        try:
+            page = self.web.fetch(parsed, agent=self.agent)
+        except FetchError:
+            return False
         if not page.ok:
             return False
         effective_source = source or self._source_for(parsed.host)

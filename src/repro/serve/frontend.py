@@ -75,6 +75,9 @@ class ServeStats:
     plans_served: int = 0
     live_fetches: int = 0
     routes: tuple[tuple[str, int], ...] = ()
+    #: Plan serves whose result was degraded by fetch failures (partial,
+    #: never wrong; these are never cached).
+    degraded_plans: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -92,6 +95,7 @@ class ServeStats:
         plans_served: int = 0,
         live_fetches: int = 0,
         routes: Mapping[str, int] | None = None,
+        degraded_plans: int = 0,
     ) -> "ServeStats":
         if latencies:
             ordered = sorted(latencies)  # percentile()'s re-sort is then linear
@@ -117,6 +121,7 @@ class ServeStats:
             plans_served=plans_served,
             live_fetches=live_fetches,
             routes=tuple(sorted((routes or {}).items())),
+            degraded_plans=degraded_plans,
         )
 
     def lines(self) -> list[str]:
@@ -138,6 +143,8 @@ class ServeStats:
                 f"plans: {self.plans_served} served (routes {routes or 'none'}, "
                 f"{self.live_fetches} live fetches)"
             )
+        if self.degraded_plans:
+            out.append(f"degraded: {self.degraded_plans} plan serves returned partial results")
         return out
 
     def __str__(self) -> str:
@@ -206,6 +213,7 @@ class QueryFrontend:
         self._plan_executor = executor
         self._plans_served = 0
         self._live_fetches = 0
+        self._degraded_plans = 0
         self._route_counts: dict[str, int] = {}
         # Cumulative percentiles cover the most recent window only, so a
         # long-lived frontend holds a bounded history; workload runs
@@ -292,12 +300,20 @@ class QueryFrontend:
                 self._plan_executor.stats.record(outcome)
             else:
                 outcome = self._plan_executor.execute(plan)
-                self.cache.put(key, plan.k, tuple(outcome.hits), generation=generation)
+                if not outcome.degraded:
+                    # A degraded outcome is partial (fetch failures lost
+                    # hits); caching it would keep serving the shrunken
+                    # answer after the hosts recover.
+                    self.cache.put(
+                        key, plan.k, tuple(outcome.hits), generation=generation
+                    )
         latency = self._clock() - started
         with self._lock:
             self._served += 1
             self._plans_served += 1
             self._live_fetches += outcome.live_fetches_spent
+            if outcome.degraded:
+                self._degraded_plans += 1
             for route in outcome.routes_taken() if not outcome.cached else plan.route_names:
                 self._route_counts[route] = self._route_counts.get(route, 0) + 1
             self._latencies.append(latency)
@@ -398,6 +414,7 @@ class QueryFrontend:
                 plans_served=self._plans_served,
                 live_fetches=self._live_fetches,
                 routes=dict(self._route_counts),
+                degraded_plans=self._degraded_plans,
             )
 
     def _executor(self) -> ThreadPoolExecutor:

@@ -196,6 +196,52 @@ class WorkloadGenerator:
             for _ in range(count)
         ]
 
+    def fault_schedule(
+        self,
+        error_rate: float = 0.2,
+        timeout_rate: float = 0.05,
+        latency_mean: float = 0.0,
+        outage_hosts: int = 0,
+        outage_window: tuple[int, int] = (5, 20),
+        agents: tuple[str, ...] | None = None,
+    ):
+        """A seeded chaos schedule over this web's hosts.
+
+        Builds a :class:`~repro.resilience.faults.FaultPlan` giving every
+        registered host its own failure profile: the requested base
+        ``error_rate``/``timeout_rate``/``latency_mean`` scaled by a
+        per-host jitter factor in [0.5, 1.5], plus (for ``outage_hosts``
+        sampled hosts) one hard outage over fetch indices
+        ``[outage_window[0], outage_window[1])``.  Everything derives from
+        named children of the generator seed over the sorted host list, so
+        the same ``(web, seed)`` always yields the identical schedule --
+        the chaos-soak counterpart of the replayable query stream.
+        ``agents`` restricts injection (e.g. ``(AGENT_VIRTUAL,)`` faults
+        only query-time fetches).
+        """
+        from repro.resilience.faults import FaultPlan, FaultSpec
+
+        hosts = sorted(site.host for site in self.web.sites())
+        rng = self._rng.child("fault-schedule")
+        specs: dict[str, FaultSpec] = {}
+        for host in hosts:
+            host_rng = rng.child(host)
+            scale = lambda rate: min(1.0, rate * (0.5 + host_rng.random()))
+            specs[host] = FaultSpec(
+                error_rate=scale(error_rate),
+                timeout_rate=scale(timeout_rate),
+                latency_mean=latency_mean * (0.5 + host_rng.random()),
+            )
+        if outage_hosts > 0 and hosts:
+            start, stop = outage_window
+            for host in rng.child("outages").sample(hosts, outage_hosts):
+                specs[host] = replace(specs[host], outages=((start, stop),))
+        return FaultPlan(
+            seed=f"{self._rng.seed}/faults",
+            hosts=specs,
+            agents=agents,
+        )
+
     def mixed_stream(
         self,
         count: int,

@@ -27,22 +27,33 @@ from repro.virtual.wrappers import ResultWrapper, WrappedRecord, matches_filters
 from repro.virtual.mediated_schema import schema_for_domain
 from repro.webspace.loadmeter import AGENT_VIRTUAL
 from repro.webspace.site import DeepWebSite
-from repro.webspace.web import Web
+from repro.webspace.web import FetchError, Web
 
 
 @dataclass
 class VerticalAnswer:
-    """The merged answer to one vertical-search query."""
+    """The merged answer to one vertical-search query.
+
+    ``failed_hosts`` lists sources that were contacted but lost at least one
+    query-time fetch to a :class:`FetchError` (records extracted before the
+    failure are kept); a non-empty list marks the answer ``degraded`` --
+    partial, never wrong.
+    """
 
     query: str
     records: list[WrappedRecord] = field(default_factory=list)
     sources_contacted: list[str] = field(default_factory=list)
     fetches_issued: int = 0
     routing: RoutingDecision | None = None
+    failed_hosts: list[str] = field(default_factory=list)
 
     @property
     def answered(self) -> bool:
         return bool(self.records)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failed_hosts)
 
 
 @dataclass
@@ -89,7 +100,12 @@ class VerticalSearchEngine:
         (when the engine is domain-restricted) the form classifies into a
         different domain.
         """
-        homepage = self.web.fetch(site.homepage_url(), agent=AGENT_VIRTUAL)
+        try:
+            homepage = self.web.fetch(site.homepage_url(), agent=AGENT_VIRTUAL)
+        except FetchError:
+            # An unreachable site simply isn't registered; a later
+            # registration attempt may succeed.
+            return None
         if not homepage.ok:
             return None
         forms = [form for form in discover_forms(homepage, host=site.host) if form.is_get]
@@ -234,11 +250,15 @@ class VerticalSearchEngine:
                 continue
             if remaining is not None and remaining <= 0:
                 break
-            records, fetches = self._fetch_records(source, bindings, budget=remaining)
+            records, fetches, failed = self._fetch_records(
+                source, bindings, budget=remaining
+            )
             if remaining is not None:
                 remaining -= fetches
             answer.fetches_issued += fetches
             answer.sources_contacted.append(host)
+            if failed:
+                answer.failed_hosts.append(host)
             if filters:
                 # The form submission already applied the filters on the
                 # backend; re-check locally only for attributes the wrapper
@@ -263,20 +283,32 @@ class VerticalSearchEngine:
         source: RegisteredSource,
         bindings: dict[str, str],
         budget: int | None = None,
-    ) -> tuple[list[WrappedRecord], int]:
+    ) -> tuple[list[WrappedRecord], int, bool]:
         """Submit a form at query time and wrap the result pages.
 
         ``budget`` caps the fetches this submission may issue (pagination
         stops once it is exhausted); ``None`` leaves only the engine's
-        per-source page limit.
+        per-source page limit.  A fetch that raises :class:`FetchError`
+        (injected fault, exhausted retries, open breaker) ends the
+        submission early: records already extracted are kept and the third
+        return value reports the failure.
         """
         records: list[WrappedRecord] = []
         fetches = 0
+        failed = False
         url = source.form.submission_url(bindings)
         for _page_index in range(self.max_pages_per_source):
             if budget is not None and fetches >= budget:
                 break
-            page = self.web.fetch(url, agent=AGENT_VIRTUAL)
+            try:
+                page = self.web.fetch(url, agent=AGENT_VIRTUAL)
+            except FetchError:
+                # The attempt still spent budget; pagination is truncated,
+                # never re-ordered, so surviving records stay a prefix of
+                # the fault-free extraction.
+                fetches += 1
+                failed = True
+                break
             fetches += 1
             if not page.ok:
                 break
@@ -285,7 +317,7 @@ class VerticalSearchEngine:
             if next_url is None:
                 break
             url = next_url
-        return records, fetches
+        return records, fetches, failed
 
     @staticmethod
     def _next_page_url(html: str, current_url):

@@ -28,13 +28,37 @@ class LoadSnapshot:
     host: str
     total: int
     by_agent: dict[str, int]
+    errors: int = 0
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """Per-host fetch bookkeeping under faults: attempts, failures, retries.
+
+    ``fetches`` counts every attempt (including failed and retried ones);
+    ``errors`` counts attempts that raised a ``FetchError`` plus fetches the
+    circuit breaker refused outright; ``retries`` counts re-attempts issued
+    by the retry policy.  On a fault-free run errors and retries are zero.
+    """
+
+    host: str
+    fetches: int
+    errors: int
+    retries: int
+
+    @property
+    def degraded(self) -> bool:
+        return self.errors > 0
 
 
 class LoadMeter:
-    """Counts fetches per (host, agent)."""
+    """Counts fetches per (host, agent), and under faults also errors/retries."""
 
     def __init__(self) -> None:
         self._by_host_agent: dict[str, Counter] = defaultdict(Counter)
+        self._errors_by_host_agent: dict[str, Counter] = defaultdict(Counter)
+        self._retries_by_host_agent: dict[str, Counter] = defaultdict(Counter)
         # Fetches may come from parallel surfacing workers; the increment is
         # a read-modify-write, so it is guarded.
         self._lock = threading.Lock()
@@ -44,10 +68,22 @@ class LoadMeter:
         with self._lock:
             self._by_host_agent[host][agent] += 1
 
+    def record_error(self, host: str, agent: str) -> None:
+        """Record one failed fetch (injected fault or breaker refusal)."""
+        with self._lock:
+            self._errors_by_host_agent[host][agent] += 1
+
+    def record_retry(self, host: str, agent: str) -> None:
+        """Record one retry attempt issued by the retry policy."""
+        with self._lock:
+            self._retries_by_host_agent[host][agent] += 1
+
     def reset(self) -> None:
         """Forget all recorded load."""
         with self._lock:
             self._by_host_agent.clear()
+            self._errors_by_host_agent.clear()
+            self._retries_by_host_agent.clear()
 
     def total(self, host: str | None = None, agent: str | None = None) -> int:
         """Total fetches, optionally filtered by host and/or agent."""
@@ -63,10 +99,48 @@ class LoadMeter:
                 total += counts.get(agent, 0)
         return total
 
+    def errors(self, host: str | None = None, agent: str | None = None) -> int:
+        """Total failed fetches, optionally filtered by host and/or agent."""
+        return self._filtered_total(self._errors_by_host_agent, host, agent)
+
+    def retries(self, host: str | None = None, agent: str | None = None) -> int:
+        """Total retry attempts, optionally filtered by host and/or agent."""
+        return self._filtered_total(self._retries_by_host_agent, host, agent)
+
+    def _filtered_total(
+        self, table: dict[str, Counter], host: str | None, agent: str | None
+    ) -> int:
+        hosts = [host] if host is not None else list(table.keys())
+        total = 0
+        for name in hosts:
+            counts = table.get(name)
+            if counts is None:
+                continue
+            if agent is None:
+                total += sum(counts.values())
+            else:
+                total += counts.get(agent, 0)
+        return total
+
+    def outcome(self, host: str) -> FetchOutcome:
+        """Attempt/error/retry summary for one host."""
+        return FetchOutcome(
+            host=host,
+            fetches=self.total(host=host),
+            errors=self.errors(host=host),
+            retries=self.retries(host=host),
+        )
+
     def snapshot(self, host: str) -> LoadSnapshot:
         """Load summary for one host."""
         counts = self._by_host_agent.get(host, Counter())
-        return LoadSnapshot(host=host, total=sum(counts.values()), by_agent=dict(counts))
+        return LoadSnapshot(
+            host=host,
+            total=sum(counts.values()),
+            by_agent=dict(counts),
+            errors=self.errors(host=host),
+            retries=self.retries(host=host),
+        )
 
     def hosts(self) -> list[str]:
         """All hosts that received at least one fetch."""

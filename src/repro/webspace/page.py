@@ -47,6 +47,20 @@ def method_not_allowed(url: str) -> WebPage:
     return WebPage(url=url, html=html, status=405)
 
 
+def service_unavailable(url: str, message: str = "temporarily unavailable") -> WebPage:
+    """A 503 page.
+
+    The resilience tier substitutes this page when a fetch fails after all
+    retries, so downstream consumers that reason about ``page.ok`` degrade
+    naturally instead of needing their own error handling.
+    """
+    html = (
+        "<html><head><title>Service Unavailable</title></head>"
+        f"<body><h1>503 Service Unavailable</h1><p>{message}</p></body></html>"
+    )
+    return WebPage(url=url, html=html, status=503)
+
+
 def server_error(url: str, message: str = "internal error") -> WebPage:
     """A 500 page."""
     html = (

@@ -16,6 +16,50 @@ from repro.webspace.surface_site import SurfaceSite
 from repro.webspace.url import Url
 
 
+class FetchError(Exception):
+    """Base class for every failure the fetch seam can raise.
+
+    The plain :class:`Web` never raises (unknown hosts yield a 404 page);
+    fetch errors enter the system only through the resilience tier
+    (``repro.resilience``), which injects them deterministically and retries
+    them.  Consumers must catch :class:`FetchError` -- never a blanket
+    ``Exception`` -- so that programming errors keep propagating.
+
+    ``retryable`` tells :class:`repro.resilience.retry.RetryPolicy` whether a
+    retry can plausibly succeed.
+    """
+
+    retryable = False
+
+    def __init__(self, url: str, message: str = "") -> None:
+        self.url = url
+        self.host = Url.parse(url).host if url else ""
+        detail = f": {message}" if message else ""
+        super().__init__(f"{type(self).__name__} fetching {url}{detail}")
+
+
+class TransientFetchError(FetchError):
+    """A one-off failure (connection reset, 5xx blip); retrying may succeed."""
+
+    retryable = True
+
+
+class FetchTimeout(FetchError):
+    """The fetch stalled past its per-attempt deadline; retrying may succeed."""
+
+    retryable = True
+
+    def __init__(self, url: str, message: str = "", stalled_seconds: float = 0.0) -> None:
+        super().__init__(url, message)
+        self.stalled_seconds = stalled_seconds
+
+
+class HostUnavailable(FetchError):
+    """The host is down (outage window or open circuit breaker); do not retry."""
+
+    retryable = False
+
+
 class Site(Protocol):
     """Anything servable by the web: needs a host, a kind and a handler."""
 

@@ -65,15 +65,25 @@ class SemanticServer:
         sample of detail pages (attribute/value tables).  This mirrors how
         the production corpus was assembled from crawled pages and forms.
         """
+        from repro.webspace.web import FetchError
+
         corpus = TableCorpus()
         for site in web.deep_sites():
-            homepage = web.fetch(site.homepage_url(), agent=agent)
-            if homepage.ok:
+            try:
+                homepage = web.fetch(site.homepage_url(), agent=agent)
+            except FetchError:
+                homepage = None
+            if homepage is not None and homepage.ok:
                 for form in extract_forms(homepage.html, page_url=homepage.url):
                     corpus.add_form(form)
             for table in site.database.tables():
                 keys = table.primary_keys()[:detail_pages_per_site]
                 for key in keys:
-                    page = web.fetch(site.detail_url(key), agent=agent)
+                    try:
+                        page = web.fetch(site.detail_url(key), agent=agent)
+                    except FetchError:
+                        # A lost detail page only shrinks the sample; the
+                        # corpus is built from whatever fetched cleanly.
+                        continue
                     corpus.add_page(page)
         return cls(corpus)

@@ -1,0 +1,41 @@
+"""Fixtures for the chaos/resilience suite.
+
+Service builds here are *deterministic twins*: calling the factory twice
+yields two services with byte-identical stores (same seeded generation,
+same crawl/surface/harvest), which is what lets tests inject faults into
+one and compare against the other without snapshot plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DeepWebService
+from repro.core.surfacer import SurfacingConfig
+from repro.webspace.sitegen import WebConfig
+
+
+def build_chaos_service() -> DeepWebService:
+    service = (
+        DeepWebService.build()
+        .web(WebConfig(total_deep_sites=4, surface_site_count=1, max_records=50, seed=7))
+        .surfacing(SurfacingConfig(max_urls_per_form=40))
+        .create()
+    )
+    service.crawl(max_pages=40)
+    service.surface()
+    service.harvest_tables()
+    service.vertical  # register live hosts (clean, un-faulted fetches)
+    return service
+
+
+@pytest.fixture(scope="module")
+def chaos_factory():
+    return build_chaos_service
+
+
+@pytest.fixture(scope="module")
+def clean_service():
+    """A module-scoped fault-free twin; tests must treat it as read-only
+    apart from executing plans (which only appends stats)."""
+    return build_chaos_service()

@@ -1,0 +1,167 @@
+"""Graceful degradation end to end: partial answers, honest provenance.
+
+The contract under test is the no-wrong-answers invariant -- a faulted
+execution may return *fewer* results than the fault-free twin, but every
+result it does return must be one the fault-free run also produces --
+plus the provenance trail (RouteOutcome/PlanResult degraded flags,
+planner stats, the serving frontend's refusal to cache partial answers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    BreakerRegistry,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    compare_degraded,
+)
+from repro.serve.loadgen import KIND_STRUCTURED, WorkloadGenerator
+from repro.webspace.loadmeter import AGENT_VIRTUAL
+
+pytestmark = pytest.mark.chaos
+
+
+def plan_workload(service, count: int = 60, seed: str = "chaos-degraded"):
+    """A seeded mixed workload planned on ``service`` (structured go live)."""
+    workload = WorkloadGenerator(service.web, seed=seed).mixed_stream(count, k=8)
+    return [
+        service.plan(
+            query.text, k=query.k, min_per_source=2,
+            live=query.kind == KIND_STRUCTURED,
+        )
+        for query in workload
+    ]
+
+
+def heavy_faults(seed="degraded-test") -> FaultPlan:
+    """Virtual-agent-only faults heavy enough to defeat a short retry."""
+    return FaultPlan(
+        seed=seed,
+        default=FaultSpec(error_rate=0.5, timeout_rate=0.1),
+        agents=(AGENT_VIRTUAL,),
+    )
+
+
+class TestSubsetInvariant:
+    def test_faulted_hits_are_a_subset_of_the_fault_free_universe(
+        self, clean_service, chaos_factory
+    ):
+        faulted = chaos_factory()
+        faulted.inject_faults(
+            heavy_faults(),
+            policy=RetryPolicy(max_attempts=2, seed="degraded-test"),
+            breakers=BreakerRegistry(),
+        )
+        plans = plan_workload(clean_service)
+        comparison = compare_degraded(clean_service, faulted, plans)
+        assert comparison.ok, "\n".join(comparison.violations)
+        assert comparison.live_plans > 0
+        assert comparison.degraded_plans > 0, "faults this heavy must degrade"
+        assert comparison.faulted_hits <= comparison.clean_hits
+        assert comparison.failed_host_events > 0
+
+    def test_cacheable_plans_stay_byte_identical_under_faults(
+        self, clean_service, chaos_factory
+    ):
+        """Store-only plans never fetch, so query-time faults cannot touch
+        them at all -- not even to shrink them."""
+        faulted = chaos_factory()
+        faulted.inject_faults(heavy_faults())
+        plans = [plan for plan in plan_workload(clean_service) if plan.cacheable]
+        assert plans
+        for plan in plans:
+            assert faulted.execute(plan).hits == clean_service.execute(plan).hits
+
+
+class TestDegradedDeterminism:
+    def test_same_seed_same_degraded_output(self, chaos_factory):
+        """Two identical twins under the identical fault plan produce
+        byte-identical degraded answers -- chaos runs are replayable."""
+
+        def run():
+            service = chaos_factory()
+            service.inject_faults(
+                heavy_faults(),
+                policy=RetryPolicy(max_attempts=2, seed="degraded-test"),
+            )
+            outputs = []
+            for plan in plan_workload(service):
+                result = service.execute(plan)
+                # Project out RouteOutcome.seconds -- wall-clock timing is
+                # the one field allowed to differ between identical runs.
+                routes = tuple(
+                    (o.route, o.produced, o.kept, o.fetches_spent,
+                     o.skipped, o.degraded, o.failed_hosts, o.error)
+                    for o in result.routes
+                )
+                outputs.append(
+                    (result.hits, result.degraded, result.failed_hosts, routes)
+                )
+            return outputs
+
+        assert run() == run()
+
+
+class TestDegradedProvenance:
+    def test_route_outcome_records_failed_hosts(self, chaos_factory):
+        service = chaos_factory()
+        live_plans = [p for p in plan_workload(service) if not p.cacheable]
+        assert live_plans
+        plan = live_plans[0]
+        live_route = next(r for r in plan.routes if not r.cacheable)
+        dead_host = live_route.hosts[0]
+        # Kill exactly one routed host; everything else stays healthy.
+        service.inject_faults(
+            FaultPlan(
+                seed=1,
+                hosts={dead_host: FaultSpec(error_rate=1.0)},
+                agents=(AGENT_VIRTUAL,),
+            )
+        )
+        result = service.execute(plan)
+        assert result.degraded
+        assert dead_host in result.failed_hosts
+        outcome = next(o for o in result.routes if o.route == live_route.name)
+        assert outcome.degraded
+        assert dead_host in outcome.failed_hosts
+        assert service.executor.stats.as_dict()["degraded_plans"] >= 1
+
+    def test_degraded_plans_render_in_service_report(self, chaos_factory):
+        service = chaos_factory()
+        service.inject_faults(heavy_faults())
+        for plan in plan_workload(service, count=30):
+            service.execute(plan)
+        lines = service.report().lines()
+        assert any(line.startswith("resilience:") for line in lines)
+        assert any("degraded plans:" in line for line in lines)
+
+
+class TestFrontendNeverCachesDegraded:
+    def test_degraded_serves_counted_and_uncached(self, chaos_factory):
+        service = chaos_factory()
+        degraded_plan = next(
+            plan for plan in plan_workload(service) if not plan.cacheable
+        )
+        live_route = next(r for r in degraded_plan.routes if not r.cacheable)
+        # Every routed live host is hard-down: both serves degrade for sure.
+        service.inject_faults(
+            FaultPlan(
+                seed=1,
+                hosts={
+                    host: FaultSpec(error_rate=1.0) for host in live_route.hosts
+                },
+                agents=(AGENT_VIRTUAL,),
+            )
+        )
+        frontend = service.frontend
+        first = frontend.serve_plan(degraded_plan)
+        second = frontend.serve_plan(degraded_plan)
+        stats = frontend.stats()
+        assert stats.degraded_plans >= 2
+        # Neither serve was answered from cache: a shrunken answer must
+        # never outlive the fault that shrank it.
+        assert not first.cached and not second.cached
+        assert any("degraded" in line for line in stats.lines())
