@@ -40,6 +40,8 @@ per-hit provenance and per-route budget accounting in ``report()``.
 
 from __future__ import annotations
 
+import gc
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -138,6 +140,10 @@ class _SiteEngineRecorder:
         self._prepared: list[IngestRecord] = []
         self._local_ids: dict[str, int] = {}
         self._host_counts: dict[tuple[str, bool], dict[str, int]] = {}
+        # How many prepared records each frequency view has folded in.
+        # Views catch up lazily on read: a record nobody looks up again
+        # (most indexed pages) is tokenized exactly once, at preparation.
+        self._counted_upto: dict[tuple[str, bool], int] = {}
 
     @property
     def prepared(self) -> list[IngestRecord]:
@@ -155,9 +161,9 @@ class _SiteEngineRecorder:
         (returns a provisional negative id for new documents)."""
         if not page.ok:
             return None
-        existing = self._base.document_for_url(page.url)
+        existing = self._base.backend.doc_id_for_url(page.url)
         if existing is not None:
-            return existing.doc_id
+            return existing
         local = self._local_ids.get(page.url)
         if local is not None:
             return local
@@ -170,20 +176,29 @@ class _SiteEngineRecorder:
         provisional = -(len(self._prepared) + 1)
         self._prepared.append(record)
         self._local_ids[page.url] = provisional
-        self._host_counts = {}
         return provisional
 
     def site_term_frequencies(self, host: str, drop_stopwords: bool = True) -> dict[str, int]:
-        """Base counts for the host plus counts of locally recorded pages."""
+        """Base counts for the host plus counts of locally recorded pages.
+
+        Views are folded forward incrementally from a per-view high-water
+        mark: each lookup tokenizes only the records prepared since the
+        previous lookup, never the whole backlog (the from-scratch rebuild
+        was quadratic in pages per site -- the single largest reason the
+        parallel scheduler used to lose to serial)."""
         cache_key = (host, drop_stopwords)
         cached = self._host_counts.get(cache_key)
         if cached is None:
             cached = self._base.site_term_frequencies(host, drop_stopwords=drop_stopwords)
-            for record in self._prepared:
+            self._host_counts[cache_key] = cached
+            self._counted_upto[cache_key] = 0
+        upto = self._counted_upto[cache_key]
+        if upto < len(self._prepared):
+            for record in self._prepared[upto:]:
                 if record.host == host:
                     for token in tokenize(record.text, drop_stopwords=drop_stopwords):
                         cached[token] = cached.get(token, 0) + 1
-            self._host_counts[cache_key] = cached
+            self._counted_upto[cache_key] = len(self._prepared)
         return dict(cached)
 
     def replay(self, engine: SearchEngine) -> None:
@@ -262,7 +277,7 @@ class ParallelSurfacingScheduler(SurfacingScheduler):
             observers=[events],
         )
         result = worker.surface_site(site)
-        return result, recorder, events
+        return result, recorder, events, worker.prober
 
     def run(
         self,
@@ -274,21 +289,64 @@ class ParallelSurfacingScheduler(SurfacingScheduler):
         targets = list(sites)
         total = total if total is not None else start_index + len(targets)
         results: list[SiteSurfacingResult] = []
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            for batch in self.batches(targets):
-                futures = [
-                    pool.submit(self._surface_one, pipeline, site) for site in batch
-                ]
-                outcomes = [future.result() for future in futures]
-                for site, (result, recorder, events) in zip(batch, outcomes):
-                    index = start_index + len(results)
-                    for observer in pipeline.observers:
-                        observer.on_site_start(site, index, total)
-                    events.replay(pipeline.observers)
-                    recorder.replay(pipeline.engine)
-                    results.append(result)
-                    for observer in pipeline.observers:
-                        observer.on_site_end(site, result, index, total)
+        # Surfacing a batch allocates heavily (pages, signatures, records)
+        # but creates no reference cycles worth chasing mid-flight; pausing
+        # the cyclic collector for the run and collecting once at the end
+        # is measurably cheaper than letting every worker trigger it.
+        # Freezing first parks the (large, long-lived) pre-run heap in the
+        # permanent generation so that one final collect only scans objects
+        # the run itself allocated.  Skipped when the caller already froze
+        # objects -- unfreezing here would release theirs too.
+        gc_was_enabled = gc.isenabled()
+        frozen_here = gc.get_freeze_count() == 0
+        if frozen_here:
+            gc.freeze()
+        gc.disable()
+        # On a GIL build every worker is CPU-bound, so forced thread
+        # switches are pure overhead (cache churn, no latency to hide).
+        # Stretching the interval to ~0.5s lets each worker run its site
+        # nearly to completion before the interpreter preempts it, which
+        # recovers almost all of the single-worker cost profile even at
+        # max_workers=4.  Nothing in a worker blocks, so responsiveness of
+        # other threads only matters to embedders -- and the old interval
+        # is restored the moment the run finishes.
+        old_switch_interval = sys.getswitchinterval()
+        sys.setswitchinterval(max(old_switch_interval, 0.5))
+        try:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                for batch in self.batches(targets):
+                    # Submit biggest sites first so a large site picked up
+                    # last cannot straggle behind an otherwise idle pool;
+                    # results are still replayed strictly in site order.
+                    order = sorted(
+                        range(len(batch)), key=lambda i: batch[i].size(), reverse=True
+                    )
+                    futures: dict[int, object] = {
+                        i: pool.submit(self._surface_one, pipeline, batch[i])
+                        for i in order
+                    }
+                    outcomes = [futures[i].result() for i in range(len(batch))]
+                    for site, (result, recorder, events, prober) in zip(batch, outcomes):
+                        index = start_index + len(results)
+                        for observer in pipeline.observers:
+                            observer.on_site_start(site, index, total)
+                        events.replay(pipeline.observers)
+                        recorder.replay(pipeline.engine)
+                        # Fold the worker's probe-cache counters into the
+                        # shared prober so report() matches the serial run.
+                        pipeline.prober.probe_cache.add_counts(
+                            prober.probe_cache.hits, prober.probe_cache.misses
+                        )
+                        results.append(result)
+                        for observer in pipeline.observers:
+                            observer.on_site_end(site, result, index, total)
+        finally:
+            sys.setswitchinterval(old_switch_interval)
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
+            if frozen_here:
+                gc.unfreeze()
         return results
 
 
@@ -328,6 +386,9 @@ class ServiceReport:
     index_by_source: dict[str, int] = field(default_factory=dict)
     crawl: CrawlStats | None = None
     sites: list[SiteReportRow] = field(default_factory=list)
+    #: Cross-stage probe memo counters (hits/misses/hit_rate); rendered only
+    #: when probes were actually issued, keeping probe-free reports stable.
+    probe_cache: dict[str, float] = field(default_factory=dict)
     stage_metrics: dict[str, object] = field(default_factory=dict)
     #: Federated-read provenance: plans executed, routes taken, hits kept
     #: per route, live fetches consumed, blend sizes.
@@ -351,6 +412,11 @@ class ServiceReport:
             f"records exposed: {self.records_covered}",
             f"off-line load: {self.analysis_load} fetches, {self.probes_issued} probes",
         ]
+        hits = int(self.probe_cache.get("hits", 0))
+        misses = int(self.probe_cache.get("misses", 0))
+        if hits or misses:
+            rate = hits / (hits + misses)
+            out.append(f"probe cache: {hits} hits, {misses} misses ({rate:.1%} hit rate)")
         if self.crawl is not None:
             out.append(f"baseline crawl: {self.crawl.fetched} fetched, {self.crawl.indexed} indexed")
         if self.index_by_source:
@@ -1167,6 +1233,7 @@ class DeepWebService:
             index_by_source=self.engine.count_by_source(),
             crawl=self.crawl_stats,
             sites=rows,
+            probe_cache=self.pipeline.prober.probe_cache.stats(),
             stage_metrics=self.metrics.as_dict(),
             query_planning=self.planner_stats.as_dict(),
             storage=self._storage_section(),

@@ -11,11 +11,17 @@ Signature computation is the hottest path of the whole system (every probe,
 every indexability check and every indexed page goes through it), so it is
 organised around two ideas:
 
-* :func:`analyze_html` parses the DOM **once** and derives everything the
+* :func:`analyze_html` parses the page **once** and derives everything the
   downstream consumers need -- title, visible text, anchor hrefs, the
   result-count banner and the error state -- in a single traversal
   (:class:`PageAnalysis`).  The search engine and the keyword prober reuse
   the same analysis instead of re-parsing the page.
+* For the well-formed markup the synthetic web emits, the parse itself is a
+  linear string scan (:func:`_fast_scan`) instead of the stdlib
+  ``html.parser`` state machine; any construct the scanner does not fully
+  understand (script/style CDATA, declarations beyond a doctype, malformed
+  tags) falls back to the DOM path.  Both paths produce byte-identical
+  analyses (``tests/core/test_informativeness.py`` checks differentially).
 * :class:`SignatureCache` keys analyses by a fast content hash of the raw
   HTML, so identical result pages -- empty-results pages and error pages
   repeat constantly across probes, templates and sites -- are never parsed
@@ -28,9 +34,10 @@ from __future__ import annotations
 import hashlib
 import re
 from dataclasses import dataclass
+from html import unescape
 from typing import Iterable, Sequence
 
-from repro.htmlparse.dom import DomNode, parse_html
+from repro.htmlparse.dom import DomNode, _VOID_TAGS, parse_html
 from repro.htmlparse.links import keep_href, resolve_links
 from repro.htmlparse.text import SKIP_TAGS
 from repro.util.text import normalize
@@ -176,6 +183,171 @@ def _scan(node: DomNode, text_root: DomNode, collecting: bool, state: _PageScan)
         _scan(child, text_root, collecting, state)
 
 
+# -- the linear fast path ---------------------------------------------------
+#
+# Site-generated pages are well-formed: escaped text, quoted attributes, a
+# known tag inventory and no script/style blocks.  For those, a single
+# regex-tokenized scan reproduces exactly what the DOM traversal above
+# computes (title, visible-text pieces, raw hrefs) without building a tree
+# or running the stdlib parser's state machine.  The scanner is strict: any
+# token it cannot prove it understands makes it return ``None`` and the DOM
+# path runs instead, so correctness never depends on the fast path.
+
+#: Flipped off in tests to force the DOM path (differential checking).
+FAST_SCAN_ENABLED = True
+
+# Elements whose content the stdlib parser treats as raw text (CDATA); the
+# fast path refuses them rather than replicating that mode.
+_CDATA_TAGS = frozenset({"script", "style"})
+
+# Groups: 1 = end-tag name, 2 = start-tag name, 3 = attribute string,
+# 4 = self-closing slash.  ``match.lastindex`` dispatches: None for text /
+# comments / doctype, 1 for end tags, 4 for start tags (groups 3 and 4
+# always participate, even when empty).
+_FAST_TOKEN_RE = re.compile(
+    r"[^<]+"
+    r"|<!--.*?-->"
+    r"|<![Dd][Oo][Cc][Tt][Yy][Pp][Ee][^>]*>"
+    r"|</([a-zA-Z][a-zA-Z0-9-]*)\s*>"
+    r"|<([a-zA-Z][a-zA-Z0-9-]*)"
+    r"((?:\s+[a-zA-Z][a-zA-Z0-9_:.-]*"
+    r"(?:\s*=\s*(?:\"[^\"<]*\"|'[^'<]*'|[^\s<>'\"`=]+))?)*)"
+    r"\s*(/?)>",
+    re.DOTALL,
+)
+
+_FAST_ATTR_RE = re.compile(
+    r"\s+([a-zA-Z][a-zA-Z0-9_:.-]*)(?:\s*=\s*(\"[^\"<]*\"|'[^'<]*'|[^\s<>'\"`=]+))?"
+)
+
+
+def _fast_href(attrs: str) -> str:
+    """The kept anchor target from a start tag's attribute string, or ``""``.
+
+    Mirrors the DOM path: last ``href`` wins (dict semantics), values are
+    entity-unescaped, then stripped and filtered through :func:`keep_href`.
+    """
+    href = None
+    for match in _FAST_ATTR_RE.finditer(attrs):
+        if match.group(1).lower() != "href":
+            continue
+        value = match.group(2)
+        if value is None:
+            href = ""
+            continue
+        if value[0] in "\"'":
+            value = value[1:-1]
+        href = unescape(value) if "&" in value else value
+    if href:
+        href = href.strip()
+        if keep_href(href):
+            return href
+    return ""
+
+
+def _fast_scan(html: str) -> "tuple[str, list[str], tuple[str, ...]] | None":
+    """Linear-scan equivalent of the DOM traversal, or ``None`` to fall back.
+
+    Returns ``(title, text_pieces, hrefs)`` exactly as the DOM path would
+    compute them.  Piece ordering follows ``DomNode._collect_text`` (a
+    node's own text chunks precede its children's), which the scanner
+    reproduces by folding each element's chunks into its parent at close.
+    """
+    # Frame: [tag, own_chunks, subtree_pieces, role] with role 1 = the
+    # first <title>, 2 = the first <body>.
+    stack: list[list] = [["#document", [], [], 0]]
+    hrefs: list[str] = []
+    title: str | None = None
+    title_seen = False
+    body_seen = False
+    body_pieces: list[str] | None = None
+    pos = 0
+
+    def fold() -> None:
+        nonlocal title, body_pieces
+        tag, own, sub, role = stack.pop()
+        pieces = own + sub if sub else own
+        if role == 1:
+            title = " ".join(pieces)
+        elif role == 2:
+            body_pieces = pieces
+        if tag not in SKIP_TAGS and pieces:
+            stack[-1][2].extend(pieces)
+
+    for match in _FAST_TOKEN_RE.finditer(html):
+        if match.start() != pos:
+            return None
+        pos = match.end()
+        kind = match.lastindex
+        if kind is None:
+            token = match.group()
+            if token[0] == "<":
+                continue  # comment or doctype
+            if "&" in token:
+                token = unescape(token)
+            data = token.strip()
+            if data:
+                stack[-1][1].append(data)
+            continue
+        if kind == 1:  # end tag
+            tag = match.group(1).lower()
+            if tag in _VOID_TAGS:
+                continue
+            for index in range(len(stack) - 1, 0, -1):
+                if stack[index][0] == tag:
+                    while len(stack) > index:
+                        fold()
+                    break
+            continue
+        tag = match.group(2).lower()
+        if tag in _CDATA_TAGS:
+            return None
+        if tag == "a":
+            href = _fast_href(match.group(3))
+            if href:
+                hrefs.append(href)
+        selfclose = match.group(4) == "/" or tag in _VOID_TAGS
+        role = 0
+        if tag == "title" and not title_seen:
+            title_seen = True
+            if selfclose:
+                title = ""
+            else:
+                role = 1
+        elif tag == "body" and not body_seen:
+            # The DOM path starts collecting at <body> even inside a
+            # skipped subtree; the linear fold cannot, so punt.
+            for frame in stack:
+                if frame[0] in SKIP_TAGS:
+                    return None
+            body_seen = True
+            if selfclose:
+                body_pieces = []
+            else:
+                role = 2
+        if not selfclose:
+            stack.append([tag, [], [], role])
+    if pos != len(html):
+        return None
+    while len(stack) > 1:
+        fold()
+    if body_seen:
+        text_pieces = body_pieces if body_pieces is not None else []
+    else:
+        root = stack[0]
+        text_pieces = root[1] + root[2]
+    return (title or "", text_pieces, tuple(hrefs))
+
+
+def _dom_scan(html: str) -> tuple[str, list[str], tuple[str, ...]]:
+    """The reference traversal: full DOM build plus :func:`_scan`."""
+    dom = parse_html(html)
+    text_root = dom.find_first("body") or dom
+    state = _PageScan()
+    _scan(dom, text_root, collecting=False, state=state)
+    return (state.title or "", state.pieces, tuple(state.hrefs))
+
+
 def analyze_html(html: str, key: str | None = None) -> PageAnalysis:
     """Parse a page once and derive every signature/indexing ingredient.
 
@@ -183,12 +355,11 @@ def analyze_html(html: str, key: str | None = None) -> PageAnalysis:
     byte-identical to ``extract_text(parse_html(html))`` and the hrefs match
     what ``extract_links`` would collect before resolution.
     """
-    dom = parse_html(html)
-    text_root = dom.find_first("body") or dom
-    state = _PageScan()
-    _scan(dom, text_root, collecting=False, state=state)
-    title = state.title or ""
-    pieces = ([title] if title else []) + state.pieces
+    scanned = _fast_scan(html) if FAST_SCAN_ENABLED else None
+    if scanned is None:
+        scanned = _dom_scan(html)
+    title, body_pieces, hrefs = scanned
+    pieces = ([title] if title else []) + body_pieces
     text = " ".join(pieces)
     normalized = normalize(text)
     match = _RESULT_COUNT_RE.search(text)
@@ -205,7 +376,7 @@ def analyze_html(html: str, key: str | None = None) -> PageAnalysis:
         digest=hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:16],
         banner_count=banner_count,
         is_error=any(marker in normalized for marker in _ERROR_MARKERS),
-        hrefs=tuple(state.hrefs),
+        hrefs=hrefs,
     )
 
 

@@ -20,6 +20,7 @@ from typing import Mapping, Sequence
 from repro.core.form_model import SurfacingForm
 from repro.core.informativeness import PageSignature, distinct_signature_fraction
 from repro.core.probe import FormProber
+from repro.core.valuepool import ValuePool
 from repro.util.rng import SeededRng
 
 
@@ -81,7 +82,7 @@ class TemplateSelector:
     def sample_bindings(
         self,
         template: QueryTemplate,
-        value_sets: Mapping[str, Sequence[str]],
+        value_sets: "Mapping[str, Sequence[str]] | ValuePool",
         limit: int | None = None,
     ) -> list[dict[str, str]]:
         """A deterministic sample of value assignments for a template.
@@ -95,9 +96,10 @@ class TemplateSelector:
         for ``limit * 10`` attempts on such near-full spaces).
         """
         limit = limit or self.probes_per_template
+        pool = ValuePool.wrap(value_sets)
         value_lists = []
         for name in template.binding_inputs:
-            values = [str(value) for value in value_sets.get(name, []) if str(value).strip()]
+            values = pool.nonblank(name)
             if not values:
                 return []
             value_lists.append(values)
@@ -127,10 +129,16 @@ class TemplateSelector:
         self,
         form: SurfacingForm,
         template: QueryTemplate,
-        value_sets: Mapping[str, Sequence[str]],
+        value_sets: "Mapping[str, Sequence[str]] | ValuePool",
     ) -> TemplateEvaluation:
-        """Probe a sample of the template's queries and measure informativeness."""
-        bindings = self.sample_bindings(template, value_sets)
+        """Probe a sample of the template's queries and measure informativeness.
+
+        Probes go through the prober's binding-keyed
+        :class:`~repro.core.probe.ProbeCache`, so a binding sampled while
+        evaluating a dimension-``d-1`` template (or re-sampled by a later
+        stage) reuses the earlier signature instead of re-fetching.
+        """
+        bindings = self.sample_bindings(template, ValuePool.wrap(value_sets))
         signatures: list[PageSignature] = []
         records: set[str] = set()
         for binding in bindings:
@@ -152,7 +160,7 @@ class TemplateSelector:
     def select_templates(
         self,
         form: SurfacingForm,
-        value_sets: Mapping[str, Sequence[str]],
+        value_sets: "Mapping[str, Sequence[str]] | ValuePool",
     ) -> list[TemplateEvaluation]:
         """Incremental search for informative templates.
 
@@ -161,16 +169,19 @@ class TemplateSelector:
         informative template of dimension *d-1*.  Returns the evaluations of
         every informative template found (all dimensions).
         """
-        available = [name for name, values in value_sets.items() if values]
+        pool = ValuePool.wrap(value_sets)
+        # One sorted pass over the inputs: the old code re-sorted ``available``
+        # for every frontier template at every dimension.
+        available = sorted(name for name, values in value_sets.items() if values)
         informative: list[TemplateEvaluation] = []
         frontier: list[QueryTemplate] = []
         evaluated: set[QueryTemplate] = set()
 
-        for name in sorted(available):
+        for name in available:
             if len(informative) >= self.max_templates:
                 break
             template = QueryTemplate((name,))
-            evaluation = self.evaluate(form, template, value_sets)
+            evaluation = self.evaluate(form, template, pool)
             evaluated.add(template)
             if evaluation.informative:
                 informative.append(evaluation)
@@ -181,14 +192,14 @@ class TemplateSelector:
             dimension += 1
             next_frontier: list[QueryTemplate] = []
             for template in frontier:
-                for name in sorted(available):
+                for name in available:
                     if name in template.binding_inputs:
                         continue
                     extended = template.extend(name)
                     if extended in evaluated:
                         continue
                     evaluated.add(extended)
-                    evaluation = self.evaluate(form, extended, value_sets)
+                    evaluation = self.evaluate(form, extended, pool)
                     if evaluation.informative:
                         informative.append(evaluation)
                         next_frontier.append(extended)

@@ -25,6 +25,7 @@ from repro.core.correlations import RangePair
 from repro.core.form_model import SurfacingForm
 from repro.core.probe import FormProber
 from repro.core.templates import QueryTemplate
+from repro.core.valuepool import ValuePool
 from repro.webspace.url import Url
 
 
@@ -90,13 +91,16 @@ class UrlGenerator:
         self.max_urls_per_template = max_urls_per_template
         self.max_urls_per_form = max_urls_per_form
         self.range_aware = range_aware
+        # (pair, options tuple) -> bucket assignments; numeric parsing of
+        # range options is template-independent, so one parse per form.
+        self._bucket_cache: dict[tuple[RangePair, tuple[str, ...]], list[dict[str, str]]] = {}
 
     # -- binding enumeration ------------------------------------------------------
 
     def enumerate_bindings(
         self,
         template: QueryTemplate,
-        value_sets: Mapping[str, Sequence[str]],
+        value_sets: "Mapping[str, Sequence[str]] | ValuePool",
         range_pairs: Sequence[RangePair] = (),
     ) -> list[dict[str, str]]:
         """All value assignments for a template, applying range awareness.
@@ -104,42 +108,38 @@ class UrlGenerator:
         Each detected range pair whose min *and* max inputs are bound by the
         template becomes a single dimension enumerating consecutive bucket
         pairs; all other inputs enumerate their candidate values
-        independently.
+        independently.  Dimensions are tuples of ``(name, value)`` pairs, so
+        each combination becomes one ``dict()`` construction instead of a
+        chain of per-dimension dict merges.
         """
+        pool = ValuePool.wrap(value_sets)
         bound = set(template.binding_inputs)
-        dimensions: list[list[dict[str, str]]] = []
+        dimensions: list[tuple[tuple[tuple[str, str], ...], ...]] = []
         consumed: set[str] = set()
 
         if self.range_aware:
             for pair in range_pairs:
                 if pair.min_input in bound or pair.max_input in bound:
-                    buckets = self._range_buckets(pair, value_sets)
+                    buckets = self._range_buckets(pair, pool)
                     if buckets:
-                        dimensions.append(buckets)
+                        dimensions.append(tuple(tuple(bucket.items()) for bucket in buckets))
                         consumed.update((pair.min_input, pair.max_input))
 
         for name in template.binding_inputs:
             if name in consumed:
                 continue
-            values = [str(value) for value in value_sets.get(name, [])][: self.max_values_per_input]
+            values = pool.normalized(name)[: self.max_values_per_input]
             if not values:
                 return []
-            dimensions.append([{name: value} for value in values])
+            dimensions.append(tuple(((name, value),) for value in values))
 
-        bindings: list[dict[str, str]] = []
-        for combo in itertools.product(*dimensions):
-            merged: dict[str, str] = {}
-            for part in combo:
-                merged.update(part)
-            bindings.append(merged)
-            if len(bindings) >= self.max_urls_per_template:
-                break
-        return bindings
+        combos = itertools.islice(itertools.product(*dimensions), self.max_urls_per_template)
+        return [dict(itertools.chain.from_iterable(combo)) for combo in combos]
 
     def naive_bindings(
         self,
         template: QueryTemplate,
-        value_sets: Mapping[str, Sequence[str]],
+        value_sets: "Mapping[str, Sequence[str]] | ValuePool",
         limit: int | None = None,
     ) -> list[dict[str, str]]:
         """Correlation-oblivious enumeration (the baseline of experiment E3).
@@ -149,25 +149,34 @@ class UrlGenerator:
         alongside the valid ones.
         """
         limit = limit if limit is not None else self.max_urls_per_template
+        pool = ValuePool.wrap(value_sets)
         value_lists = []
         for name in template.binding_inputs:
-            values = [str(value) for value in value_sets.get(name, [])][: self.max_values_per_input]
+            values = pool.normalized(name)[: self.max_values_per_input]
             if not values:
                 return []
-            value_lists.append([(name, value) for value in values])
-        bindings = []
-        for combo in itertools.product(*value_lists):
-            bindings.append(dict(combo))
-            if len(bindings) >= limit:
-                break
-        return bindings
+            value_lists.append(tuple((name, value) for value in values))
+        combos = itertools.islice(itertools.product(*value_lists), limit)
+        return [dict(combo) for combo in combos]
 
-    @staticmethod
     def _range_buckets(
-        pair: RangePair, value_sets: Mapping[str, Sequence[str]]
+        self, pair: RangePair, value_sets: "Mapping[str, Sequence[str]] | ValuePool"
     ) -> list[dict[str, str]]:
-        """Consecutive (min, max) bucket assignments for a range pair."""
-        options = [str(value) for value in (pair.options or value_sets.get(pair.min_input, []))]
+        """Consecutive (min, max) bucket assignments for a range pair.
+
+        Memoized per ``(pair, options)``: the numeric re-parse used to run
+        once per *template* touching the pair, now once per form.
+        """
+        pool = ValuePool.wrap(value_sets)
+        options: tuple[str, ...]
+        if pair.options:
+            options = tuple(str(value) for value in pair.options)
+        else:
+            options = pool.normalized(pair.min_input)
+        cache_key = (pair, options)
+        cached = self._bucket_cache.get(cache_key)
+        if cached is not None:
+            return cached
         numeric: list[tuple[float, str]] = []
         for option in options:
             cleaned = option.replace(",", "").replace("$", "").strip()
@@ -176,13 +185,13 @@ class UrlGenerator:
             except ValueError:
                 continue
         numeric.sort()
-        if len(numeric) < 2:
-            return []
-        buckets = []
-        for (low_value, low_text), (high_value, high_text) in zip(numeric, numeric[1:]):
-            if low_value > high_value:
-                continue
-            buckets.append({pair.min_input: low_text, pair.max_input: high_text})
+        buckets: list[dict[str, str]] = []
+        if len(numeric) >= 2:
+            for (low_value, low_text), (high_value, high_text) in zip(numeric, numeric[1:]):
+                if low_value > high_value:
+                    continue
+                buckets.append({pair.min_input: low_text, pair.max_input: high_text})
+        self._bucket_cache[cache_key] = buckets
         return buckets
 
     # -- URL materialization -------------------------------------------------------
@@ -192,12 +201,25 @@ class UrlGenerator:
         form: SurfacingForm,
         template: QueryTemplate,
         bindings: Iterable[Mapping[str, str]],
+        prober: FormProber | None = None,
     ) -> list[GeneratedUrl]:
-        """Turn bindings into de-duplicated :class:`GeneratedUrl` objects."""
+        """Turn bindings into de-duplicated :class:`GeneratedUrl` objects.
+
+        When a ``prober`` is supplied, bindings already probed during
+        template search reuse the memoized submission URL (its string is
+        cached) instead of re-building and re-rendering it.
+        """
+        probe_cache = prober.probe_cache if prober is not None else None
         seen: set[str] = set()
         urls: list[GeneratedUrl] = []
         for binding in bindings:
-            url = form.submission_url(binding)
+            url = None
+            if probe_cache is not None:
+                memoized = probe_cache.peek(form, binding)
+                if memoized is not None:
+                    url = memoized.url
+            if url is None:
+                url = form.submission_url(binding)
             key = str(url)
             if key in seen:
                 continue
@@ -209,17 +231,19 @@ class UrlGenerator:
         self,
         form: SurfacingForm,
         templates: Sequence[QueryTemplate],
-        value_sets: Mapping[str, Sequence[str]],
+        value_sets: "Mapping[str, Sequence[str]] | ValuePool",
         range_pairs: Sequence[RangePair] = (),
+        prober: FormProber | None = None,
     ) -> tuple[list[GeneratedUrl], UrlGenerationStats]:
         """Enumerate URLs for all templates, de-duplicating across templates."""
+        pool = ValuePool.wrap(value_sets)
         stats = UrlGenerationStats()
         seen: set[str] = set()
         generated: list[GeneratedUrl] = []
         for template in templates:
-            bindings = self.enumerate_bindings(template, value_sets, range_pairs)
+            bindings = self.enumerate_bindings(template, pool, range_pairs)
             stats.candidates += len(bindings)
-            for candidate in self.materialize(form, template, bindings):
+            for candidate in self.materialize(form, template, bindings, prober=prober):
                 if candidate.key in seen:
                     continue
                 seen.add(candidate.key)
@@ -239,7 +263,14 @@ class UrlGenerator:
         prober: FormProber,
         stats: UrlGenerationStats | None = None,
     ) -> list[GeneratedUrl]:
-        """Probe candidates and keep those meeting the indexability criterion."""
+        """Probe candidates and keep those meeting the indexability criterion.
+
+        Every candidate still counts as an issued probe (the stat is part of
+        the compared pipeline output), but candidates whose bindings were
+        already probed -- during template search or an earlier template's
+        enumeration -- resolve from the binding-keyed :class:`ProbeCache`
+        without re-materializing the submission URL.
+        """
         stats = stats if stats is not None else UrlGenerationStats()
         kept: list[GeneratedUrl] = []
         covered: set[str] = set()
@@ -263,4 +294,6 @@ class UrlGenerator:
 
     @staticmethod
     def prober_probe(prober: FormProber, form: SurfacingForm, candidate: GeneratedUrl):
-        return prober.probe(form, candidate.bindings)
+        # The candidate's URL was materialized from these exact bindings, so
+        # the prober can skip rebuilding it on a cache miss.
+        return prober.probe_prepared(form, candidate.bindings, candidate.url)

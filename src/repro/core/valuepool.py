@@ -1,0 +1,90 @@
+"""Normalized candidate-value pools shared across the surfacing stages.
+
+``sample_bindings``, ``enumerate_bindings`` and ``naive_bindings`` all used
+to run the same ``str(value)`` normalization (and blank filtering) once per
+*template*; for a form with a dozen informative templates that re-walked
+every candidate list a dozen times.  A :class:`ValuePool` runs the pass once
+per form and hands out the same tuples to every template.
+
+Normalized tuples are additionally interned in a module-level table, so
+forms on the same host -- which draw from the same select options,
+typed-value libraries and keyword selections -- share one string pool
+instead of materializing per-form copies.
+"""
+
+from __future__ import annotations
+
+from typing import ItemsView, Iterable, KeysView, Mapping, Sequence
+
+_INTERNED: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+
+def _intern(values: tuple[str, ...]) -> tuple[str, ...]:
+    return _INTERNED.setdefault(values, values)
+
+
+class ValuePool:
+    """A per-form normalized view over ``value_sets``.
+
+    The pool is a read-through cache: lookups normalize lazily, memoize per
+    input name and intern the resulting tuple.  Wrapping an existing pool is
+    a no-op (:meth:`wrap`), so public APIs keep accepting plain mappings
+    while internal call chains share one pool per form.
+    """
+
+    __slots__ = ("_raw", "_normalized", "_nonblank")
+
+    def __init__(self, value_sets: Mapping[str, Sequence[str]]) -> None:
+        self._raw = value_sets
+        self._normalized: dict[str, tuple[str, ...]] = {}
+        self._nonblank: dict[str, tuple[str, ...]] = {}
+
+    @classmethod
+    def wrap(cls, value_sets: "Mapping[str, Sequence[str]] | ValuePool") -> "ValuePool":
+        if isinstance(value_sets, ValuePool):
+            return value_sets
+        return cls(value_sets)
+
+    # -- mapping passthroughs (pools substitute for the raw mapping) ---------
+
+    @property
+    def raw(self) -> Mapping[str, Sequence[str]]:
+        return self._raw
+
+    def keys(self) -> KeysView[str]:
+        return self._raw.keys()
+
+    def items(self) -> ItemsView[str, Sequence[str]]:
+        return self._raw.items()
+
+    def get(self, name: str, default: Sequence[str] = ()) -> Sequence[str]:
+        return self._raw.get(name, default)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._raw
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._raw)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    # -- normalized views ------------------------------------------------------
+
+    def normalized(self, name: str) -> tuple[str, ...]:
+        """``str(value)`` for every candidate value of ``name``, in order."""
+        cached = self._normalized.get(name)
+        if cached is None:
+            cached = _intern(tuple(str(value) for value in self._raw.get(name, ())))
+            self._normalized[name] = cached
+        return cached
+
+    def nonblank(self, name: str) -> tuple[str, ...]:
+        """:meth:`normalized`, minus values that are empty once stripped."""
+        cached = self._nonblank.get(name)
+        if cached is None:
+            values = self.normalized(name)
+            stripped = tuple(value for value in values if value.strip())
+            cached = values if len(stripped) == len(values) else _intern(stripped)
+            self._nonblank[name] = cached
+        return cached

@@ -33,7 +33,11 @@ that faults only ever *shrink* answers: every hit returned under faults
 must be a hit the fault-free run also produces.  ``--smoke`` runs the
 serving scenarios plus warm-restart and degraded-identity checks once on
 a tiny world (identity checks only, nothing written) -- the CI
-regression gate.
+regression gate.  ``--perf-smoke`` is the companion perf gate: it times
+the cached serial scheduler against the parallel one (best of several
+interleaved seeded build+surface cycles each, outputs checked
+byte-identical) and
+fails when parallel loses beyond a noise margin.
 
 Usage (the console entry point installed by setup.py; the
 ``scripts/bench_report.py`` shim is equivalent for in-repo runs):
@@ -54,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -205,38 +210,108 @@ def run_seed_reference(seed_ref: str, scale: str, root: Path) -> dict | None:
 # -- measured workloads -----------------------------------------------------------
 
 
-def run_surface_many(scale: str, parallel: bool, cached: bool, max_workers: int):
-    """Build a fresh seeded world and time ``surface()`` over every deep site."""
-    previous = set_default_signature_cache(
+def _surface_cycle(scale: str, parallel: bool, cached: bool, max_workers: int):
+    """One full build+crawl+surface cycle against a fresh signature cache.
+
+    Returns ``(seconds, outcome)`` where ``seconds`` times only the
+    ``surface()`` call and ``outcome`` carries the normalized outputs plus
+    the cycle's perf registry snapshot.
+    """
+    set_default_signature_cache(
         SignatureCache() if cached else SignatureCache(max_entries=0)
     )
     registry = PerfRegistry()
+    web_config: WebConfig = SCALES[scale]["web"]
+    builder = (
+        DeepWebService.build()
+        .web(web_config)
+        .surfacing(SURFACING_CONFIG)
+        .observer(PerfObserver(registry))
+    )
+    if parallel:
+        builder = builder.parallel(max_workers=max_workers)
+    service = builder.create()
+    service.crawl(max_pages=int(SCALES[scale]["crawl_pages"]))
+    started = time.perf_counter()
+    results = service.surface()
+    seconds = time.perf_counter() - started
+    outcome = {
+        "web": service.web,
+        "results": normalized_results(results),
+        "index": normalized_index(service.engine),
+        "report_lines": service.report().lines(),
+        "cache_stats": default_signature_cache().stats(),
+        "perf": registry.as_dict(),
+    }
+    return seconds, outcome
+
+
+def _with_timing(outcome: dict, timings: list[float]) -> dict:
+    # Wall-clock noise on a shared box is strictly additive (a descheduled
+    # thread, a neighbor's burst), so the minimum of N repeats is the
+    # least-contaminated sample; medians still carry half the outliers.
+    outcome["seconds"] = min(timings)
+    outcome["repeat_seconds"] = [round(seconds, 3) for seconds in timings]
+    return outcome
+
+
+def run_surface_many(
+    scale: str, parallel: bool, cached: bool, max_workers: int, repeats: int = 1
+):
+    """Build a fresh seeded world and time ``surface()`` over every deep site.
+
+    With ``repeats > 1`` the whole build+surface cycle runs that many times
+    (each against a fresh world *and* a fresh signature cache, so no repeat
+    rides on the previous one's warm state) and ``seconds`` is the best repeat.
+    The surfaced outputs are captured from the first repeat; the seeded
+    workload makes every repeat compute the identical thing.
+    """
+    previous = default_signature_cache()
+    outcome: dict = {}
+    timings: list[float] = []
     try:
-        web_config: WebConfig = SCALES[scale]["web"]
-        builder = (
-            DeepWebService.build()
-            .web(web_config)
-            .surfacing(SURFACING_CONFIG)
-            .observer(PerfObserver(registry))
-        )
-        if parallel:
-            builder = builder.parallel(max_workers=max_workers)
-        service = builder.create()
-        service.crawl(max_pages=int(SCALES[scale]["crawl_pages"]))
-        started = time.perf_counter()
-        results = service.surface()
-        elapsed = time.perf_counter() - started
-        return {
-            "seconds": elapsed,
-            "web": service.web,
-            "results": normalized_results(results),
-            "index": normalized_index(service.engine),
-            "report_lines": service.report().lines(),
-            "cache_stats": default_signature_cache().stats(),
-            "perf": registry.as_dict(),
-        }
+        for repeat in range(max(1, repeats)):
+            seconds, cycle = _surface_cycle(scale, parallel, cached, max_workers)
+            timings.append(seconds)
+            if repeat == 0:
+                outcome = cycle
     finally:
         set_default_signature_cache(previous)
+    return _with_timing(outcome, timings)
+
+
+def run_surface_pair(scale: str, max_workers: int, repeats: int = 3):
+    """Time the cached serial and parallel schedulers with interleaved cycles.
+
+    The serial-vs-parallel gap at medium scale is a few percent, while a
+    shared box drifts monotonically by about that much over the seconds a
+    multi-repeat run takes -- timing all serial cycles and then all parallel
+    cycles would hand the drift to whichever went second.  Alternating
+    serial/parallel cycles puts both schedulers through the same drift, so
+    their numbers stay comparable.  Returns ``(serial, parallel)`` outcomes
+    with best-repeat ``seconds``, outputs captured from each first cycle.
+    """
+    previous = default_signature_cache()
+    serial_outcome: dict = {}
+    parallel_outcome: dict = {}
+    serial_timings: list[float] = []
+    parallel_timings: list[float] = []
+    try:
+        for repeat in range(max(1, repeats)):
+            seconds, cycle = _surface_cycle(scale, False, True, max_workers)
+            serial_timings.append(seconds)
+            if repeat == 0:
+                serial_outcome = cycle
+            seconds, cycle = _surface_cycle(scale, True, True, max_workers)
+            parallel_timings.append(seconds)
+            if repeat == 0:
+                parallel_outcome = cycle
+    finally:
+        set_default_signature_cache(previous)
+    return (
+        _with_timing(serial_outcome, serial_timings),
+        _with_timing(parallel_outcome, parallel_timings),
+    )
 
 
 def run_url_scaling(cached: bool):
@@ -588,6 +663,67 @@ def speedup(before: float, after: float) -> float | None:
     return round(before / after, 3) if after else None
 
 
+def probe_cache_stats(run: dict) -> dict:
+    """Hit/miss counters the :class:`~repro.core.probe.ProbeCache` reported
+    through the run's :class:`PerfObserver`, plus the derived hit rate."""
+    counters = run["perf"]["counters"]
+    hits = int(counters.get("probe_cache.hits", 0))
+    misses = int(counters.get("probe_cache.misses", 0))
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 4) if total else None,
+    }
+
+
+def step_summary(markdown: str) -> None:
+    """Append a record to the GitHub Actions step summary when running in CI."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(markdown.rstrip() + "\n")
+
+
+def warn_unverified_seed(report: dict) -> None:
+    """Make an unmeasured / uncompared seed impossible to miss.
+
+    Every speedup headline is only as honest as its "before" number.  When
+    ``seed_seconds`` is null the before number is this tree's own uncached
+    serial run -- a fair software baseline but *not* the pre-PR checkout --
+    and ``seed_output_compared: false`` records that no seed output was
+    byte-compared either way.  Both conditions get a loud console warning
+    and, in CI, a step-summary record, so the caveat travels with the
+    numbers instead of hiding in a JSON field.
+    """
+    surface = report.get("surface_many", {})
+    warnings = []
+    if surface.get("seed_seconds") is None:
+        warnings.append(
+            "seed_seconds is null: no --seed-ref was measured, so "
+            "'before' is this tree's serial+uncached run, not a pre-PR checkout."
+        )
+    if not surface.get("seed_output_compared", False):
+        warnings.append(
+            "seed_output_compared is false: the optimized output was verified "
+            "against this tree's uncached baseline only, never against a seed "
+            "checkout's output."
+        )
+    if not warnings:
+        return
+    banner = "!" * 72
+    print(f"\n{banner}", file=sys.stderr)
+    print("WARNING: benchmark provenance caveats", file=sys.stderr)
+    for warning in warnings:
+        print(f"  - {warning}", file=sys.stderr)
+    print(banner, file=sys.stderr)
+    step_summary(
+        "### Benchmark provenance caveats\n"
+        + "\n".join(f"- :warning: {warning}" for warning in warnings)
+    )
+
+
 def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path) -> dict:
     seed = None
     if seed_ref:
@@ -601,12 +737,17 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
     print(f"[2/9] baseline surface_many (serial, uncached) on scale={scale!r} ...")
     baseline = run_surface_many(scale, parallel=False, cached=False, max_workers=max_workers)
     print(f"      {baseline['seconds']:.2f}s")
-    print("[3/9] optimized surface_many (cached; serial and parallel) ...")
-    optimized_serial = run_surface_many(scale, parallel=False, cached=True, max_workers=max_workers)
-    optimized_parallel = run_surface_many(scale, parallel=True, cached=True, max_workers=max_workers)
     print(
-        f"      serial {optimized_serial['seconds']:.2f}s, "
-        f"parallel x{max_workers} {optimized_parallel['seconds']:.2f}s"
+        "[3/9] optimized surface_many "
+        "(cached; serial and parallel interleaved, best of 5) ..."
+    )
+    optimized_serial, optimized_parallel = run_surface_pair(
+        scale, max_workers, repeats=5
+    )
+    print(
+        f"      serial {optimized_serial['seconds']:.2f}s {optimized_serial['repeat_seconds']}, "
+        f"parallel x{max_workers} {optimized_parallel['seconds']:.2f}s "
+        f"{optimized_parallel['repeat_seconds']}"
     )
     optimized = min((optimized_serial, optimized_parallel), key=lambda run: run["seconds"])
 
@@ -706,6 +847,7 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
             "sites": len(optimized["results"]),
             "urls_indexed": sum(row[6] for row in optimized["results"]),
             "signature_cache": optimized["cache_stats"],
+            "probe_cache": probe_cache_stats(optimized),
             "stage_seconds": optimized["perf"]["timers"],
         },
         "bench_url_scaling": {
@@ -815,6 +957,59 @@ def run_smoke(max_workers: int) -> None:
     )
 
 
+#: Headroom the perf-smoke gate grants the parallel scheduler over serial.
+#: Medians of three still wobble a few percent on shared CI runners; the
+#: gate exists to catch the scheduler *losing* its advantage (historically
+#: a 10-20% regression when worker overhead crept back in), not to fail
+#: PRs on scheduler-neutral noise.
+PERF_SMOKE_NOISE_MARGIN = 1.10
+
+
+def run_perf_smoke(scale: str, max_workers: int) -> None:
+    """CI perf gate: parallel surfacing must not lose to serial.
+
+    Times the cached serial and the cached parallel schedulers over the
+    same seeded world (three full build+surface cycles each, interleaved
+    to cancel box drift, best repeats compared),
+    checks the two outputs byte-identical, and fails the process when
+    ``parallel > serial * PERF_SMOKE_NOISE_MARGIN``.  The measured ratio
+    lands in the GitHub step summary either way.
+    """
+    print(
+        f"perf-smoke: serial vs parallel x{max_workers} on scale={scale!r} "
+        "(interleaved, best of 3 each) ..."
+    )
+    serial, parallel = run_surface_pair(scale, max_workers, repeats=3)
+    identical = (
+        serial["results"] == parallel["results"]
+        and serial["index"] == parallel["index"]
+        and serial["report_lines"] == parallel["report_lines"]
+    )
+    if not identical:
+        raise SystemExit("FATAL: parallel surfacing output diverged from serial")
+    ratio = parallel["seconds"] / serial["seconds"]
+    verdict = "OK" if ratio <= PERF_SMOKE_NOISE_MARGIN else "FAIL"
+    print(
+        f"perf-smoke: serial {serial['seconds']:.2f}s {serial['repeat_seconds']}, "
+        f"parallel {parallel['seconds']:.2f}s {parallel['repeat_seconds']}, "
+        f"ratio {ratio:.3f} (gate: <= {PERF_SMOKE_NOISE_MARGIN}) -> {verdict}"
+    )
+    step_summary(
+        "### perf-smoke: parallel vs serial surfacing\n"
+        f"- scale `{scale}`, {max_workers} workers, best of 3 interleaved\n"
+        f"- serial {serial['seconds']:.2f}s, parallel {parallel['seconds']:.2f}s, "
+        f"ratio **{ratio:.3f}** (gate: ≤ {PERF_SMOKE_NOISE_MARGIN}) "
+        f"— {verdict}\n"
+        "- outputs byte-identical"
+    )
+    if verdict == "FAIL":
+        raise SystemExit(
+            f"FATAL: parallel surfacing ({parallel['seconds']:.2f}s) lost to "
+            f"serial ({serial['seconds']:.2f}s) beyond the "
+            f"{PERF_SMOKE_NOISE_MARGIN}x noise margin"
+        )
+
+
 def print_comparison(previous: dict, current: dict) -> None:
     print("\n== comparison against committed baseline ==")
     for section in ("surface_many", "bench_url_scaling"):
@@ -849,13 +1044,22 @@ def main(root: Path | None = None) -> None:
         help="CI mode: run the serve_qps and planner_qps scenarios once on a "
         "tiny world, identity checks only, write nothing",
     )
+    parser.add_argument(
+        "--perf-smoke", action="store_true",
+        help="CI perf gate: best-of-3 interleaved serial vs parallel surfacing; fails "
+        "when parallel loses to serial beyond the noise margin, writes nothing",
+    )
     args = parser.parse_args()
 
     if args.smoke:
         run_smoke(args.max_workers)
         return
+    if args.perf_smoke:
+        run_perf_smoke(args.scale, args.max_workers)
+        return
 
     report = build_report(args.scale, args.max_workers, args.seed_ref, root)
+    warn_unverified_seed(report)
 
     output = Path(args.output)
     if output.exists():

@@ -108,6 +108,11 @@ class PerfObserver(PipelineObserver):
 
     def __init__(self, registry: PerfRegistry | None = None) -> None:
         self.registry = registry or default_registry()
+        # Last-seen (hits, misses) per ProbeCache object.  Keyed by the
+        # cache itself (not id()) so a parallel worker's short-lived cache
+        # cannot be confused with a reincarnation at the same address;
+        # deltas then stay correct for any number of probers reporting in.
+        self._probe_cache_seen: dict[object, tuple[int, int]] = {}
 
     def on_site_end(self, site, result, index, total) -> None:
         self.registry.increment("sites.surfaced")
@@ -117,3 +122,12 @@ class PerfObserver(PipelineObserver):
 
     def on_stage_end(self, stage_name, ctx, elapsed) -> None:
         self.registry.record_seconds(f"stage.{stage_name}", elapsed)
+        prober = getattr(ctx, "prober", None)
+        cache = getattr(prober, "probe_cache", None)
+        if cache is None:
+            return
+        seen_hits, seen_misses = self._probe_cache_seen.get(cache, (0, 0))
+        if cache.hits != seen_hits or cache.misses != seen_misses:
+            self.registry.increment("probe_cache.hits", cache.hits - seen_hits)
+            self.registry.increment("probe_cache.misses", cache.misses - seen_misses)
+            self._probe_cache_seen[cache] = (cache.hits, cache.misses)

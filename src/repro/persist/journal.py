@@ -291,12 +291,15 @@ class ResumableSurfacingScheduler(SurfacingScheduler):
                 records, result = journaled
                 pipeline.engine.ingest_records(records)
             else:
-                result, recorder, events = ParallelSurfacingScheduler._surface_one(
-                    pipeline, site
+                result, recorder, events, prober = (
+                    ParallelSurfacingScheduler._surface_one(pipeline, site)
                 )
                 self.journal.record_site(site.host, recorder.prepared, result)
                 events.replay(pipeline.observers)
                 recorder.replay(pipeline.engine)
+                pipeline.prober.probe_cache.add_counts(
+                    prober.probe_cache.hits, prober.probe_cache.misses
+                )
             self._flush(pipeline)
             results.append(result)
             for observer in pipeline.observers:

@@ -201,7 +201,11 @@ class UrlGenerationStage:
             range_aware=config.range_aware,
         )
         candidates, stats = generator.generate_for_templates(
-            form, ctx.form_result.templates_selected, ctx.value_sets, ctx.form_result.range_pairs
+            form,
+            ctx.form_result.templates_selected,
+            ctx.value_sets,
+            ctx.form_result.range_pairs,
+            prober=ctx.prober,
         )
         candidates.extend(
             _database_selection_urls(ctx, ctx.form_result.database_selection)

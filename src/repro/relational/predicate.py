@@ -187,6 +187,15 @@ class Contains(Predicate):
     def matches(self, row: Mapping[str, Any]) -> bool:
         if not self.keywords:
             return True
+        if len(self.keywords) == 1:
+            # Search-box submissions are almost always one keyword; skip the
+            # per-row working-set allocation for that case.
+            keyword = self.keywords[0]
+            for column in self.columns_searched:
+                value = row.get(column)
+                if value is not None and keyword in _token_set(str(value)):
+                    return True
+            return False
         # Keywords must all appear in the union of the columns' tokens;
         # subtracting per column allows an early exit once all are found.
         remaining = set(self.keywords)

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.relational.errors import UnknownColumnError
 from repro.relational.predicate import Predicate, TruePredicate
-from repro.relational.table import Row, Table
+from repro.relational.table import Row, Table, _sort_key
 
 
 @dataclass(frozen=True)
@@ -53,16 +53,21 @@ class QueryResult:
 
 def execute(table: Table, query: Query) -> QueryResult:
     """Execute a query against a table and return a :class:`QueryResult`."""
-    rows = table.scan(query.predicate)
-    if query.order_by is not None:
-        if not table.schema.has_column(query.order_by):
-            raise UnknownColumnError(
-                f"cannot order by unknown column {query.order_by!r}"
-            )
-        rows.sort(
-            key=lambda row: _sort_key(row.get(query.order_by)),
-            reverse=query.descending,
+    if query.order_by is not None and not table.schema.has_column(query.order_by):
+        raise UnknownColumnError(
+            f"cannot order by unknown column {query.order_by!r}"
         )
+    if query.order_by is not None and not query.descending:
+        # Ascending order (every results page) rides the table's presorted
+        # row cache instead of re-sorting per query.
+        rows = table.scan_ordered(query.predicate, query.order_by)
+    else:
+        rows = table.scan(query.predicate)
+        if query.order_by is not None:
+            rows.sort(
+                key=lambda row: _sort_key(row.get(query.order_by)),
+                reverse=query.descending,
+            )
     total = len(rows)
     start = max(0, query.offset)
     end = total if query.limit is None else min(total, start + query.limit)
@@ -78,15 +83,6 @@ def execute(table: Table, query: Query) -> QueryResult:
         offset=start,
         limit=query.limit,
     )
-
-
-def _sort_key(value: Any) -> tuple[int, Any]:
-    """Sort key tolerant of None and mixed types (None sorts first)."""
-    if value is None:
-        return (0, "")
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return (1, value)
-    return (2, str(value).lower())
 
 
 def page_count(total: int, page_size: int) -> int:

@@ -12,6 +12,19 @@ from repro.relational.schema import TableSchema
 Row = dict[str, Any]
 
 
+def _sort_key(value: Any) -> tuple[int, Any]:
+    """Sort key tolerant of None and mixed types (None sorts first).
+
+    Lives here (rather than :mod:`repro.relational.query`, which re-exports
+    it) so tables can maintain presorted row caches without an import cycle.
+    """
+    if value is None:
+        return (0, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value).lower())
+
+
 class Table:
     """An in-memory table with a primary-key index and optional hash indexes.
 
@@ -25,6 +38,10 @@ class Table:
         self.schema = schema
         self._rows: dict[Any, Row] = {}
         self._indexes: dict[str, dict[Any, set[Any]]] = {}
+        # column -> rows presorted ascending by that column.  Result pages
+        # order every query by the title column, so the sort is hoisted out
+        # of the per-query path; invalidated on insert.
+        self._ordered: dict[str, list[Row]] = {}
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -50,6 +67,8 @@ class Table:
         self._rows[key] = row_dict
         for column, index in self._indexes.items():
             index[self._index_key(row_dict.get(column))].add(key)
+        if self._ordered:
+            self._ordered.clear()
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert many rows; returns the number inserted."""
@@ -95,9 +114,40 @@ class Table:
         if predicate is None or isinstance(predicate, TruePredicate):
             return list(self._rows.values())
         candidates = self._candidates(predicate)
+        if candidates is None:
+            candidates = self._rows.values()
         return [row for row in candidates if predicate.matches(row)]
 
-    def _candidates(self, predicate: Predicate) -> Iterable[Row]:
+    def scan_ordered(self, predicate: Predicate | None, column: str) -> list[Row]:
+        """Rows matching ``predicate``, sorted ascending by ``column``.
+
+        Equivalent to ``scan`` followed by a stable sort on ``column``: when
+        no index narrows the scan, matches are filtered out of the cached
+        presorted row list (ties keep insertion order, exactly as a stable
+        sort of the insertion-order scan would); a narrowed candidate set is
+        sorted directly.
+        """
+        if predicate is None or isinstance(predicate, TruePredicate):
+            return list(self.rows_by_order(column))
+        candidates = self._candidates(predicate)
+        if candidates is None:
+            return [row for row in self.rows_by_order(column) if predicate.matches(row)]
+        rows = [row for row in candidates if predicate.matches(row)]
+        rows.sort(key=lambda row: _sort_key(row.get(column)))
+        return rows
+
+    def rows_by_order(self, column: str) -> list[Row]:
+        """All rows presorted ascending by ``column`` (cached per column)."""
+        cached = self._ordered.get(column)
+        if cached is None:
+            cached = sorted(
+                self._rows.values(), key=lambda row: _sort_key(row.get(column))
+            )
+            self._ordered[column] = cached
+        return cached
+
+    def _candidates(self, predicate: Predicate) -> list[Row] | None:
+        """Index-narrowed candidate rows, or None when no index applies."""
         equalities: list[Eq | InSet] = []
         if isinstance(predicate, (Eq, InSet)):
             equalities.append(predicate)
@@ -116,7 +166,7 @@ class Table:
                 for value in equality.values:
                     keys |= index.get(self._index_key(value), set())
             return [self._rows[key] for key in keys]
-        return self._rows.values()
+        return None
 
     def count(self, predicate: Predicate | None = None) -> int:
         """Number of rows matching the predicate."""

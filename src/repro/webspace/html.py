@@ -74,10 +74,18 @@ def result_item(detail_url: str, title: str, summary: str) -> str:
     )
 
 
+_BANNER_CACHE: dict[int, str] = {}
+
+
 def result_count_banner(total: int) -> str:
     """The "N results found" banner the probing code keys off."""
-    noun = "result" if total == 1 else "results"
-    return f'<p class="result-count">{total} {noun} found</p>'
+    banner = _BANNER_CACHE.get(total)
+    if banner is None:
+        noun = "result" if total == 1 else "results"
+        banner = f'<p class="result-count">{total} {noun} found</p>'
+        if len(_BANNER_CACHE) < 10000:
+            _BANNER_CACHE[total] = banner
+    return banner
 
 
 def no_results_banner() -> str:

@@ -115,6 +115,21 @@ class DeepWebSite:
         self.description = description
         self.language = language
         self.browse_link_count = browse_link_count
+        # (table, primary key) -> rendered result_item fragment.  The same
+        # record appears on many result pages (overlapping queries), and the
+        # relational layer has no row-update API, so the fragment is a pure
+        # function of the key.
+        self._fragment_cache: dict[tuple[str, object], str] = {}
+        # Constant per site: every results page repeats these.
+        self._results_heading = markup.heading(f"{self.title} search results")
+        self._back_link = markup.link(str(self.homepage_url()), f"Back to {self.title}")
+        # An empty results page is byte-identical for every no-match query
+        # (the URL only appears in page metadata, not the HTML).
+        self._empty_results_html = markup.render_page(
+            f"{self.title} search results",
+            "".join([self._results_heading, markup.no_results_banner(), self._back_link]),
+            self.language,
+        )
 
     # -- URL helpers --------------------------------------------------------
 
@@ -182,33 +197,38 @@ class DeepWebSite:
     def _results_page(self, form: FormTemplate, url: Url) -> WebPage:
         predicate = self.compile_predicate(form, url.param_dict)
         page_number = self._page_number(url)
+        title_column = self._title_column(form.table)
         query = Query(
             table=form.table,
             predicate=predicate,
-            order_by=self._title_column(form.table),
+            order_by=title_column,
             limit=form.results_per_page,
             offset=(page_number - 1) * form.results_per_page,
         )
         result = self.database.execute(query)
-        title_column = self._title_column(form.table)
-        parts = [markup.heading(f"{self.title} search results")]
         if result.total_matches == 0:
-            parts.append(markup.no_results_banner())
-        else:
-            parts.append(markup.result_count_banner(result.total_matches))
-            for row in result.rows:
-                key = row[self.database.table(form.table).schema.primary_key]
-                summary = self._summary(form.table, row)
-                parts.append(
-                    markup.result_item(
-                        str(self.detail_url(key)), str(row.get(title_column, key)), summary
-                    )
+            return WebPage(url=str(url), html=self._empty_results_html)
+        parts = [self._results_heading]
+        schema = self.database.table(form.table).schema
+        primary_key = schema.primary_key
+        fragment_cache = self._fragment_cache
+        parts.append(markup.result_count_banner(result.total_matches))
+        for row in result.rows:
+            key = row[primary_key]
+            fragment = fragment_cache.get((form.table, key))
+            if fragment is None:
+                fragment = markup.result_item(
+                    str(self.detail_url(key)),
+                    str(row.get(title_column, key)),
+                    self._summary(form.table, row),
                 )
-            if result.has_more:
-                next_url = url.with_params(page=page_number + 1)
-                parts.append(markup.paragraph("More results:"))
-                parts.append(markup.link(str(next_url), "Next page"))
-        parts.append(markup.link(str(self.homepage_url()), f"Back to {self.title}"))
+                fragment_cache[(form.table, key)] = fragment
+            parts.append(fragment)
+        if result.has_more:
+            next_url = url.with_params(page=page_number + 1)
+            parts.append(markup.paragraph("More results:"))
+            parts.append(markup.link(str(next_url), "Next page"))
+        parts.append(self._back_link)
         body = "".join(parts)
         page_title = f"{self.title} search results"
         return WebPage(url=str(url), html=markup.render_page(page_title, body, self.language))
@@ -276,6 +296,10 @@ class DeepWebSite:
             parts.append(Range(column, low=bounds.get("low"), high=bounds.get("high")))
         if not parts:
             return TruePredicate()
+        if len(parts) == 1:
+            # Single-input submissions (most probes) skip the conjunction
+            # wrapper and its per-row dispatch loop.
+            return parts[0]
         return And(parts)
 
     def _value_predicate(self, table_name: str, column: str, value: str) -> Predicate:

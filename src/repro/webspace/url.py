@@ -33,6 +33,11 @@ _FAST_PARSE_RE = re.compile(
     r"(?:\?(?P<query>[A-Za-z0-9_.~=&-]*))?$"
 )
 
+# text -> parsed Url; cleared wholesale at the cap (simple and allocation-free
+# on the hit path, which is all that matters for the link-heavy scans).
+_PARSE_CACHE: dict[str, "Url"] = {}
+_PARSE_CACHE_MAX = 65536
+
 
 @dataclass(frozen=True)
 class Url:
@@ -61,7 +66,21 @@ class Url:
         """Parse a URL string previously produced by :meth:`__str__`.
 
         Accepts both ``http://host/path?query`` and ``host/path?query``.
+        Parses are memoized: link extraction and record-id derivation parse
+        the same detail/navigation URLs over and over, and :class:`Url` is
+        immutable so instances can be shared freely.
         """
+        cached = _PARSE_CACHE.get(text)
+        if cached is not None:
+            return cached
+        url = cls._parse_uncached(text)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = url
+        return url
+
+    @classmethod
+    def _parse_uncached(cls, text: str) -> "Url":
         match = _FAST_PARSE_RE.match(text)
         if match is not None:
             query = match.group("query")

@@ -118,3 +118,70 @@ class TestRecordIdsFromLinks:
 
     def test_item_link_without_id_ignored(self):
         assert record_ids_from_links(["http://a.com/item"]) == frozenset()
+
+
+class TestFastScanDifferential:
+    """The linear fast scanner must agree byte-for-byte with the DOM path
+    on generated pages, and must *refuse* (return ``None``) anything it
+    cannot prove it parses identically."""
+
+    def _site_pages(self, car_site):
+        from repro.webspace.url import Url
+
+        template = car_site.forms[0]
+        make_input = next(
+            spec for spec in template.inputs if spec.column == "make"
+        )
+        urls = [
+            car_site.homepage_url(),
+            car_site.detail_url(1),
+            Url.build(car_site.host, template.action_path, {}),
+            Url.build(
+                car_site.host,
+                template.action_path,
+                {make_input.name: make_input.options[0]},
+            ),
+            Url.build(
+                car_site.host, template.action_path, {make_input.name: "zzqx"}
+            ),
+        ]
+        return [car_site.handle(url) for url in urls]
+
+    def test_fast_scan_matches_dom_scan_on_generated_pages(self, car_site):
+        from repro.core.informativeness import _dom_scan, _fast_scan
+
+        for page in self._site_pages(car_site):
+            assert page.ok
+            fast = _fast_scan(page.html)
+            assert fast is not None, "generated markup should take the fast path"
+            assert fast == _dom_scan(page.html)
+
+    def test_analyze_html_identical_with_fast_path_disabled(self, car_site):
+        import repro.core.informativeness as informativeness
+        from repro.core.informativeness import analyze_html
+
+        pages = self._site_pages(car_site)
+        enabled = [analyze_html(page.html) for page in pages]
+        informativeness.FAST_SCAN_ENABLED = False
+        try:
+            disabled = [analyze_html(page.html) for page in pages]
+        finally:
+            informativeness.FAST_SCAN_ENABLED = True
+        assert enabled == disabled
+
+    def test_fast_scan_refuses_cdata_and_malformed_markup(self):
+        from repro.core.informativeness import _dom_scan, _fast_scan, analyze_html
+
+        refused = [
+            "<html><body><script>var x = '<div>';</script>hi</body></html>",
+            "<html><body><style>p { color: red }</style>hi</body></html>",
+            "<html><body><p>unterminated <a href='x</p></body></html>",
+            "<html><body><p>stray < bracket</p></body></html>",
+        ]
+        for html in refused:
+            assert _fast_scan(html) is None, html
+            # The DOM fallback still analyzes the page.
+            title, pieces, hrefs = _dom_scan(html)
+            assert analyze_html(html).text == " ".join(
+                ([title] if title else []) + pieces
+            )

@@ -171,3 +171,43 @@ class TestIndexBasedSamplingRegression:
         bindings = sel.sample_bindings(QueryTemplate(("a",)), values)
         positions = [int(binding["a"]) for binding in bindings]
         assert positions == sorted(positions)
+
+    def test_mixed_radix_decode_on_multi_input_near_full_space(self, car_prober):
+        # 3 x 4 = 12 positions, limit 10: every sampled position must decode
+        # to a distinct, valid (a, b) pair -- a decode bug (wrong digit
+        # order, off-by-one radix) would collide pairs or index out of range.
+        sel = selector(car_prober, probes_per_template=10)
+        values = {"a": ["0", "1", "2"], "b": ["0", "1", "2", "3"]}
+        bindings = sel.sample_bindings(QueryTemplate(("a", "b")), values)
+        assert len(bindings) == 10
+        pairs = {(binding["a"], binding["b"]) for binding in bindings}
+        assert len(pairs) == 10
+        assert all(a in values["a"] and b in values["b"] for a, b in pairs)
+
+    def test_total_equal_to_limit_takes_the_full_product_path(self, car_prober):
+        # Exactly at the boundary the sampler must enumerate, not sample:
+        # the full product in deterministic enumeration order.
+        sel = selector(car_prober, probes_per_template=6)
+        values = {"a": ["x", "y"], "b": ["1", "2", "3"]}
+        bindings = sel.sample_bindings(QueryTemplate(("a", "b")), values)
+        assert bindings == [
+            {"a": "x", "b": "1"},
+            {"a": "x", "b": "2"},
+            {"a": "x", "b": "3"},
+            {"a": "y", "b": "1"},
+            {"a": "y", "b": "2"},
+            {"a": "y", "b": "3"},
+        ]
+
+    def test_whitespace_only_value_set_gives_no_bindings(self, car_prober):
+        sel = selector(car_prober)
+        values = {"a": ["1", "2"], "b": ["  ", "\t", ""]}
+        assert sel.sample_bindings(QueryTemplate(("a", "b")), values) == []
+
+    def test_blank_values_are_excluded_from_the_product(self, car_prober):
+        # Blanks shrink the radix for their input instead of producing
+        # bindings with empty submissions.
+        sel = selector(car_prober)
+        values = {"a": ["", "1", "  ", "2"], "b": ["x"]}
+        bindings = sel.sample_bindings(QueryTemplate(("a", "b")), values)
+        assert bindings == [{"a": "1", "b": "x"}, {"a": "2", "b": "x"}]

@@ -140,7 +140,10 @@ class TestPredicateCompilation:
         predicate = car_site.compile_predicate(
             template, {min_input.name: "1000", max_input.name: "30000"}
         )
-        ranges = [part for part in predicate.parts if isinstance(part, Range)]
+        # A lone min/max pair compiles to the Range itself (single-part
+        # conjunctions are unwrapped); with other inputs it nests in an And.
+        parts = predicate.parts if isinstance(predicate, And) else (predicate,)
+        ranges = [part for part in parts if isinstance(part, Range)]
         assert len(ranges) == 1
         assert ranges[0].low == 1000 and ranges[0].high == 30000
 
