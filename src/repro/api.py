@@ -432,6 +432,20 @@ class ServiceReport:
             if self.storage.get("restored_from"):
                 storage_line += " (restored from snapshot)"
             out.append(storage_line)
+            cluster = self.storage.get("cluster")
+            if cluster:
+                line = (
+                    f"cluster: {cluster.get('shards')}x{cluster.get('replicas')} "
+                    f"({cluster.get('routing')}), {cluster.get('scatters', 0)} scatters, "
+                    f"{cluster.get('hedges', 0)} hedges "
+                    f"({cluster.get('hedge_wins', 0)} won), "
+                    f"{cluster.get('deadline_misses', 0)} deadline misses, "
+                    f"{cluster.get('degraded_searches', 0)} degraded searches"
+                )
+                dead = cluster.get("dead_replicas")
+                if dead:
+                    line += ", dead=" + ",".join(dead)
+                out.append(line)
         if self.resilience:
             line = (
                 f"resilience: {self.resilience.get('fetch_errors', 0)} fetch errors, "
@@ -519,6 +533,40 @@ class DeepWebServiceBuilder:
         supplying a fully built engine via :meth:`engine`."""
         self._store = backend
         return self
+
+    def cluster(
+        self,
+        shards: int = 8,
+        replicas: int = 1,
+        deadline_seconds: float = 0.25,
+        hedge_after_seconds: float = 0.05,
+        routing: str = "round-robin",
+        inflight_limit: int = 8,
+        fault_plan: FaultPlan | ScriptedFaults | None = None,
+    ) -> "DeepWebServiceBuilder":
+        """Back the service with the scatter-gather cluster tier.
+
+        Sugar for ``store(ClusterBackend(...))``: documents partition
+        across ``shards`` replicated shard nodes, searches scatter with
+        per-shard deadlines and hedged duplicates, and clean-path
+        rankings stay byte-identical to the in-memory default.  A
+        ``fault_plan`` keyed on ``shard{i}/replica{j}`` names (agent
+        ``cluster``) injects deterministic replica outages/errors/stalls
+        for chaos soaks; ``service.cluster_stats()`` and ``report()``
+        expose hedge/deadline/degradation accounting."""
+        from repro.cluster import ClusterBackend
+
+        return self.store(
+            ClusterBackend(
+                shard_count=shards,
+                replicas=replicas,
+                deadline_seconds=deadline_seconds,
+                hedge_after_seconds=hedge_after_seconds,
+                routing=routing,
+                inflight_limit=inflight_limit,
+                fault_plan=fault_plan,
+            )
+        )
 
     def surfacing(self, config: SurfacingConfig) -> "DeepWebServiceBuilder":
         self._surfacing = config
@@ -1113,6 +1161,13 @@ class DeepWebService:
         )
         return self.execute(plan).results
 
+    def cluster_stats(self):
+        """Scatter-gather accounting when the store is a
+        :class:`~repro.cluster.ClusterBackend` (shape, hedges, deadline
+        misses, degraded searches, dead replicas); ``None`` otherwise."""
+        stats_fn = getattr(self.store, "cluster_stats", None)
+        return stats_fn() if callable(stats_fn) else None
+
     def result_for(self, host: str) -> SiteSurfacingResult | None:
         for result in self.results:
             if result.host == host:
@@ -1130,6 +1185,21 @@ class DeepWebService:
         }
         if stats.shard_documents:
             section["shard_documents"] = list(stats.shard_documents)
+        cluster = self.cluster_stats()
+        if cluster is not None:
+            section["cluster"] = {
+                "shards": cluster.shard_count,
+                "replicas": cluster.replicas,
+                "routing": cluster.routing,
+                "scatters": cluster.scatters,
+                "hedges": cluster.hedges,
+                "hedge_wins": cluster.hedge_wins,
+                "deadline_misses": cluster.deadline_misses,
+                "failovers": cluster.failovers,
+                "refused": cluster.refused,
+                "degraded_searches": cluster.degraded_searches,
+                "dead_replicas": list(cluster.dead_replicas),
+            }
         store_path = getattr(self.store, "path", None)
         if store_path is not None:
             section["store_path"] = str(store_path)

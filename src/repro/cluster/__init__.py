@@ -1,0 +1,42 @@
+"""Scatter-gather cluster serving: replicated shard nodes behind one backend.
+
+The cluster tier turns the single-process :class:`~repro.store.sharded.
+ShardedBackend` layout into N executor-isolated shard nodes with
+replicas, per-shard deadlines, hedged duplicate requests for stragglers
+and per-node admission control -- while keeping clean-path rankings
+byte-identical to :class:`~repro.store.memory.InMemoryBackend` and
+degrading to exact-score subsets (the PR 7 invariant) under failure.
+"""
+
+from repro.cluster.backend import ClusterBackend, ClusterStats
+from repro.cluster.executor import (
+    REASON_DEADLINE,
+    REASON_DOWN,
+    REASON_ERROR,
+    REASON_REFUSED,
+    REASON_STALLED,
+    ROUTING_LEAST_LOADED,
+    ROUTING_POLICIES,
+    ROUTING_ROUND_ROBIN,
+    ScatterGatherExecutor,
+    ShardOutcome,
+)
+from repro.cluster.node import AGENT_CLUSTER, ShardNode, replica_name
+
+__all__ = [
+    "AGENT_CLUSTER",
+    "ClusterBackend",
+    "ClusterStats",
+    "REASON_DEADLINE",
+    "REASON_DOWN",
+    "REASON_ERROR",
+    "REASON_REFUSED",
+    "REASON_STALLED",
+    "ROUTING_LEAST_LOADED",
+    "ROUTING_POLICIES",
+    "ROUTING_ROUND_ROBIN",
+    "ScatterGatherExecutor",
+    "ShardNode",
+    "ShardOutcome",
+    "replica_name",
+]

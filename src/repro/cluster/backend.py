@@ -1,0 +1,388 @@
+"""The cluster coordinator: a StorageBackend over replicated shard nodes.
+
+:class:`ClusterBackend` is the multi-node sibling of
+:class:`~repro.store.sharded.ShardedBackend`.  Documents route to shards
+by the same stable CRC32 hash (:func:`~repro.store.sharded.shard_of`),
+writes apply to *every* replica of the owning shard, and searches
+scatter one accumulate task per shard through a
+:class:`~repro.cluster.executor.ScatterGatherExecutor` (deadlines,
+hedged duplicates, replica failover) and merge the partial accumulators
+back into one ranked list.
+
+Two invariants make it safe to put in front of real traffic:
+
+* **Clean-path byte-identity.**  The BM25 ingredients that couple shards
+  together -- document count, total token length, per-term document
+  frequency -- are tracked by the *coordinator* at ingest time as exact
+  integer sums, so the idf map and average length handed to each shard
+  are precisely what a single global index would compute.  Partial
+  accumulators merge disjointly (a document lives in one shard), so with
+  every shard answering, rankings and scores are bit-identical to
+  :class:`~repro.store.memory.InMemoryBackend`.
+* **Degradation is shrinkage, never substitution.**  When a shard misses
+  its deadline or every replica is dead/refusing, its documents simply
+  drop out of the merge.  Because the scoring ingredients come from the
+  coordinator (not from the surviving shards), the remaining hits keep
+  *identical* scores -- the degraded result is a strict subset of the
+  healthy one, the same PR 7 invariant the fetch tier degrades to, and
+  :func:`~repro.resilience.chaos.compare_degraded` asserts it wholesale.
+  ``consume_degraded()`` tells callers (and the chaos harness) that the
+  most recent searches were served degraded.
+
+Admin reads (``get``, ``documents``, ``export_records``, ...) are
+coordinator-side and synchronous against replica 0 of each shard --
+replicas are byte-identical by construction, including dead ones, since
+kill/revive only gates *query* serving.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cluster.executor import ScatterGatherExecutor, ShardOutcome
+from repro.cluster.node import ShardNode, replica_name
+from repro.resilience.faults import FaultPlan, ScriptedFaults
+from repro.search.inverted_index import bm25_idf, rank_accumulator
+from repro.store.backend import StoreStats
+from repro.store.records import Document, IngestRecord
+from repro.store.sharded import shard_of
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """A snapshot of cluster shape and scatter-gather behaviour."""
+
+    shard_count: int
+    replicas: int
+    routing: str
+    documents: int
+    alive_replicas: int
+    dead_replicas: tuple[str, ...]
+    scatters: int
+    tasks: int
+    hedges: int
+    hedge_wins: int
+    deadline_misses: int
+    failovers: int
+    refused: int
+    degraded_searches: int
+    injected: dict[str, int]
+    replica_serves: dict[str, int]
+
+    def lines(self) -> list[str]:
+        """Human-readable rendering for service reports."""
+        lines = [
+            f"shards: {self.shard_count} x {self.replicas} replicas "
+            f"({self.routing} routing), {self.documents} documents",
+            f"scatters: {self.scatters} ({self.tasks} tasks, "
+            f"{self.failovers} failovers, {self.refused} refused)",
+            f"hedges: {self.hedges} ({self.hedge_wins} won), "
+            f"deadline misses: {self.deadline_misses}, "
+            f"degraded searches: {self.degraded_searches}",
+        ]
+        if self.dead_replicas:
+            lines.append("dead replicas: " + ", ".join(self.dead_replicas))
+        if self.injected:
+            parts = [f"{kind}={count}" for kind, count in sorted(self.injected.items())]
+            lines.append("injected faults: " + ", ".join(parts))
+        return lines
+
+
+class ClusterBackend:
+    """Replicated scatter-gather storage with single-index semantics."""
+
+    kind = "cluster"
+
+    def __init__(
+        self,
+        shard_count: int = 8,
+        replicas: int = 1,
+        k1: float = 1.5,
+        b: float = 0.75,
+        deadline_seconds: float = 0.25,
+        hedge_after_seconds: float = 0.05,
+        routing: str = "round-robin",
+        inflight_limit: int = 8,
+        fault_plan: FaultPlan | ScriptedFaults | None = None,
+    ) -> None:
+        if shard_count <= 0:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.shard_count = shard_count
+        self.replicas = replicas
+        self.k1 = k1
+        self.b = b
+        self.replica_sets: list[list[ShardNode]] = [
+            [
+                ShardNode(shard, replica, k1=k1, b=b, inflight_limit=inflight_limit)
+                for replica in range(replicas)
+            ]
+            for shard in range(shard_count)
+        ]
+        self.executor = ScatterGatherExecutor(
+            self.replica_sets,
+            deadline_seconds=deadline_seconds,
+            hedge_after_seconds=hedge_after_seconds,
+            routing=routing,
+            fault_plan=fault_plan,
+        )
+        # Coordinator-held scoring ingredients: exact integer sums kept at
+        # ingest time, so degraded merges still score with full-corpus
+        # numbers (subset-with-identical-scores, never rescored survivors).
+        self._url_to_doc: dict[str, int] = {}
+        self._doc_to_shard: dict[int, int] = {}
+        self._next_id = 1
+        self._total_length = 0
+        self._df: Counter[str] = Counter()
+        self._lock = threading.Lock()
+        self._degraded_flag = False
+        self._degraded_searches = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        for replica_set in self.replica_sets:
+            for node in replica_set:
+                node.close()
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._doc_to_shard)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._url_to_doc
+
+    # -- replica management ----------------------------------------------------
+
+    def node(self, name: str) -> ShardNode:
+        """Look a replica up by its ``shard{i}/replica{j}`` name."""
+        for replica_set in self.replica_sets:
+            for candidate in replica_set:
+                if candidate.name == name:
+                    return candidate
+        raise KeyError(name)
+
+    def kill(self, name: str) -> None:
+        self.node(name).kill()
+
+    def revive(self, name: str) -> None:
+        self.node(name).revive()
+
+    # -- writes --------------------------------------------------------------
+
+    def add(self, record: IngestRecord) -> int:
+        existing = self._url_to_doc.get(record.url)
+        if existing is not None:
+            return existing
+        doc_id = self._next_id
+        self._next_id += 1
+        shard_index = shard_of(record.url, self.shard_count)
+        document = record.as_document(doc_id)
+        # Every replica of the owning shard stays byte-identical, dead or
+        # alive -- kill/revive gates query serving only, so a revived
+        # replica answers with current data (no catch-up protocol).
+        for node in self.replica_sets[shard_index]:
+            node.add(doc_id, record.tokens, document)
+        self._url_to_doc[record.url] = doc_id
+        self._doc_to_shard[doc_id] = shard_index
+        self._total_length += len(record.tokens)
+        for term in set(record.tokens):
+            self._df[term] += 1
+        return doc_id
+
+    # -- reads (coordinator-side, replica 0 of each shard) ---------------------
+
+    def _shard_documents(self, shard_index: int) -> dict[int, Document]:
+        return self.replica_sets[shard_index][0].documents
+
+    def doc_id_for_url(self, url: str) -> int | None:
+        return self._url_to_doc.get(url)
+
+    def get(self, doc_id: int) -> Document:
+        shard_index = self._doc_to_shard.get(doc_id)
+        if shard_index is None:
+            raise KeyError(doc_id)
+        return self._shard_documents(shard_index)[doc_id]
+
+    def document_for_url(self, url: str) -> Document | None:
+        doc_id = self._url_to_doc.get(url)
+        return self.get(doc_id) if doc_id is not None else None
+
+    def documents(self, source: str | None = None) -> list[Document]:
+        docs: list[Document] = []
+        for shard_index in range(self.shard_count):
+            docs.extend(self._shard_documents(shard_index).values())
+        if source is not None:
+            docs = [doc for doc in docs if doc.source == source]
+        docs.sort(key=lambda doc: doc.doc_id)
+        return docs
+
+    def documents_for_host(self, host: str) -> list[Document]:
+        docs = [
+            doc
+            for shard_index in range(self.shard_count)
+            for doc in self._shard_documents(shard_index).values()
+            if doc.host == host
+        ]
+        docs.sort(key=lambda doc: doc.doc_id)
+        return docs
+
+    def export_records(self) -> list[IngestRecord]:
+        """The stored corpus as re-ingestable records, ascending doc id.
+
+        Same contract as the other backends: tokens are reconstructed
+        term-sorted from replica 0's postings (scoring only reads counts).
+        """
+        terms_by_shard = [
+            self.replica_sets[shard_index][0].index.document_terms()
+            for shard_index in range(self.shard_count)
+        ]
+        records: list[IngestRecord] = []
+        for doc_id in sorted(self._doc_to_shard):
+            shard_index = self._doc_to_shard[doc_id]
+            doc = self._shard_documents(shard_index)[doc_id]
+            tokens = [
+                term
+                for term, frequency in terms_by_shard[shard_index].get(doc_id, [])
+                for _ in range(frequency)
+            ]
+            records.append(
+                IngestRecord(
+                    url=doc.url,
+                    host=doc.host,
+                    title=doc.title,
+                    text=doc.text,
+                    tokens=tokens,
+                    source=doc.source,
+                    annotations=dict(doc.annotations),
+                )
+            )
+        return records
+
+    # -- querying ------------------------------------------------------------
+
+    def search(
+        self, query_tokens: Sequence[str], limit: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Scatter the query across shards, merge one ranked list.
+
+        The idf map and average length come from the coordinator's
+        ingest-time sums, so every shard -- and every *surviving* shard
+        when some fail -- scores with exactly the numbers a single global
+        index would use.
+        """
+        tokens = list(query_tokens)
+        document_count = len(self._doc_to_shard)
+        if not tokens or not document_count:
+            return []
+        average_length = self._total_length / document_count
+        idf_by_term: dict[str, float] = {}
+        for term in tokens:
+            if term not in idf_by_term:
+                idf_by_term[term] = bm25_idf(document_count, self._df.get(term, 0))
+        outcomes = self.executor.scatter(
+            lambda node: lambda: node.accumulate(tokens, idf_by_term, average_length)
+        )
+        accumulator: dict[int, float] = {}
+        degraded = False
+        for outcome in outcomes:
+            if outcome.ok:
+                accumulator.update(outcome.value)  # disjoint doc-id sets
+            else:
+                degraded = True
+        if degraded:
+            with self._lock:
+                self._degraded_flag = True
+                self._degraded_searches += 1
+        return rank_accumulator(accumulator, limit)
+
+    def consume_degraded(self) -> bool:
+        """Whether any search since the last call was served degraded."""
+        with self._lock:
+            flag, self._degraded_flag = self._degraded_flag, False
+            return flag
+
+    def matching_documents(
+        self, query_tokens: Iterable[str], require_all: bool = False
+    ) -> set[int]:
+        # Coordinator-side admin read (replica 0), same union-of-shards
+        # argument as ShardedBackend: a document lives wholly in one shard.
+        tokens = list(query_tokens)
+        matches: set[int] = set()
+        for shard_index in range(self.shard_count):
+            matches |= self.replica_sets[shard_index][0].index.matching_documents(
+                tokens, require_all=require_all
+            )
+        return matches
+
+    # -- stats ---------------------------------------------------------------
+
+    def count_by_source(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for shard_index in range(self.shard_count):
+            for doc in self._shard_documents(shard_index).values():
+                counts[doc.source] = counts.get(doc.source, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            backend=self.kind,
+            documents=len(self),
+            by_source=self.count_by_source(),
+            shard_documents=tuple(
+                len(self._shard_documents(shard_index))
+                for shard_index in range(self.shard_count)
+            ),
+        )
+
+    def cluster_stats(self) -> ClusterStats:
+        executor_stats = self.executor.stats()
+        dead = tuple(
+            node.name
+            for replica_set in self.replica_sets
+            for node in replica_set
+            if not node.alive
+        )
+        alive = self.shard_count * self.replicas - len(dead)
+        with self._lock:
+            degraded_searches = self._degraded_searches
+        return ClusterStats(
+            shard_count=self.shard_count,
+            replicas=self.replicas,
+            routing=self.executor.routing,
+            documents=len(self),
+            alive_replicas=alive,
+            dead_replicas=dead,
+            scatters=executor_stats["scatters"],
+            tasks=executor_stats["tasks"],
+            hedges=executor_stats["hedges"],
+            hedge_wins=executor_stats["hedge_wins"],
+            deadline_misses=executor_stats["deadline_misses"],
+            failovers=executor_stats["failovers"],
+            refused=sum(
+                node.refused for replica_set in self.replica_sets for node in replica_set
+            ),
+            degraded_searches=degraded_searches,
+            injected=executor_stats["injected"],
+            replica_serves={
+                node.name: node.tasks_served
+                for replica_set in self.replica_sets
+                for node in replica_set
+                if node.tasks_served
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ClusterBackend shards={self.shard_count} replicas={self.replicas} "
+            f"docs={len(self)}>"
+        )

@@ -1,0 +1,332 @@
+"""Scatter-gather over shard replicas: deadlines, hedging, failover.
+
+The executor is the cluster's read-side coordinator: one task per shard,
+each placed on one replica chosen by the routing policy (round-robin or
+least-loaded), with
+
+* a **per-shard deadline** -- a shard that cannot produce a response in
+  time is dropped from the merge (the backend degrades to the PR 7
+  subset invariant: fewer hits, never wrong ones);
+* **hedged duplicate requests** -- when the first attempt has not
+  responded within the hedge window and an untried live replica exists,
+  the same task is launched there too; the first response wins and the
+  loser is cancelled;
+* **replica failover** -- a dead, refusing (admission-limited) or
+  erroring replica hands the attempt to the next candidate while the
+  deadline allows.
+
+Failures can also be *injected* through the same seeded
+:class:`~repro.resilience.faults.FaultPlan` / ``ScriptedFaults`` duck
+type the fetch path uses, keyed on ``(replica name, per-replica task
+index)`` under the ``cluster`` agent: an ``outage`` window models a
+killed-then-revived replica, an ``error`` a failed response, a
+``timeout`` a straggler that never answers inside the hedge window
+(triggering a hedge without any wall-clock stall).  Decisions are pure
+functions of ``(seed, replica, index)``, so chaos soaks replay
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cluster.node import AGENT_CLUSTER, ShardNode
+from repro.resilience.faults import (
+    KIND_ERROR,
+    KIND_OUTAGE,
+    KIND_TIMEOUT,
+    FaultPlan,
+    ScriptedFaults,
+)
+
+ROUTING_ROUND_ROBIN = "round-robin"
+ROUTING_LEAST_LOADED = "least-loaded"
+ROUTING_POLICIES = (ROUTING_ROUND_ROBIN, ROUTING_LEAST_LOADED)
+
+#: Why a shard produced no response (``ShardOutcome.reason``).
+REASON_DEADLINE = "deadline"
+REASON_DOWN = "down"
+REASON_REFUSED = "refused"
+REASON_ERROR = "error"
+REASON_STALLED = "stalled"
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's contribution to a scatter (or why it has none)."""
+
+    shard: int
+    value: object | None = None
+    replica: str | None = None
+    attempts: int = 0
+    hedged: bool = False
+    hedge_won: bool = False
+    reason: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.reason is None
+
+
+class _ShardState:
+    """Book-keeping for one shard while its scatter is in flight."""
+
+    __slots__ = (
+        "shard", "deadline", "hedge_at", "pending", "tried",
+        "attempts", "hedged", "last_reason",
+    )
+
+    def __init__(self, shard: int, deadline: float, hedge_at: float) -> None:
+        self.shard = shard
+        self.deadline = deadline
+        self.hedge_at = hedge_at
+        self.pending: list[tuple[ShardNode, Future, bool]] = []  # (node, future, is_hedge)
+        self.tried: set[int] = set()
+        self.attempts = 0
+        self.hedged = False
+        self.last_reason: str | None = None
+
+
+class ScatterGatherExecutor:
+    """Places one task per shard on replicas, under deadlines and hedges."""
+
+    def __init__(
+        self,
+        replica_sets: Sequence[Sequence[ShardNode]],
+        deadline_seconds: float = 0.25,
+        hedge_after_seconds: float = 0.05,
+        routing: str = ROUTING_ROUND_ROBIN,
+        fault_plan: FaultPlan | ScriptedFaults | None = None,
+        agent: str = AGENT_CLUSTER,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if not replica_sets or any(not replicas for replicas in replica_sets):
+            raise ValueError("every shard needs at least one replica")
+        if deadline_seconds <= 0:
+            raise ValueError(f"deadline_seconds must be positive, got {deadline_seconds}")
+        if hedge_after_seconds < 0:
+            raise ValueError(
+                f"hedge_after_seconds must be >= 0, got {hedge_after_seconds}"
+            )
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(f"routing must be one of {ROUTING_POLICIES}, got {routing!r}")
+        self.replica_sets = [list(replicas) for replicas in replica_sets]
+        self.deadline_seconds = deadline_seconds
+        self.hedge_after_seconds = min(hedge_after_seconds, deadline_seconds)
+        self.routing = routing
+        self.fault_plan = fault_plan
+        self.agent = agent
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cursors = [0] * len(self.replica_sets)
+        # Cumulative counters (read through ClusterBackend.cluster_stats()).
+        self.scatters = 0
+        self.tasks = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.deadline_misses = 0
+        self.failovers = 0
+        self.injected: dict[str, int] = {}
+
+    # -- routing -------------------------------------------------------------
+
+    def _pick(self, state: _ShardState) -> ShardNode | None:
+        """The next untried live replica under the routing policy."""
+        replicas = self.replica_sets[state.shard]
+        candidates = [
+            node
+            for node in replicas
+            if node.replica_index not in state.tried and node.alive
+        ]
+        if not candidates:
+            return None
+        if self.routing == ROUTING_LEAST_LOADED:
+            return min(candidates, key=lambda node: (node.inflight, node.replica_index))
+        with self._lock:
+            cursor = self._cursors[state.shard]
+            self._cursors[state.shard] = (cursor + 1) % len(replicas)
+        for offset in range(len(replicas)):
+            node = replicas[(cursor + offset) % len(replicas)]
+            if node.replica_index not in state.tried and node.alive:
+                return node
+        return None  # pragma: no cover - candidates was non-empty
+
+    # -- fault injection -------------------------------------------------------
+
+    def _consult_plan(self, node: ShardNode) -> str | None:
+        """The injected verdict for this attempt (``None`` = run it).
+
+        Governed attempts consume the replica's fault index; ungoverned
+        ones do not, so enabling an agent filter never shifts the fault
+        sequence -- the same contract as :class:`FaultyWeb`.
+        """
+        plan = self.fault_plan
+        if plan is None or not plan.applies_to(self.agent):
+            return None
+        decision = plan.decide(node.name, node.next_fault_index())
+        if decision.ok:
+            return None
+        with self._lock:
+            self.injected[decision.kind] = self.injected.get(decision.kind, 0) + 1
+        if decision.kind == KIND_OUTAGE:
+            return REASON_DOWN
+        if decision.kind == KIND_TIMEOUT:
+            return REASON_STALLED
+        assert decision.kind == KIND_ERROR
+        return REASON_ERROR
+
+    # -- scatter / gather ------------------------------------------------------
+
+    def _launch(
+        self,
+        state: _ShardState,
+        task_factory: Callable[[ShardNode], Callable[[], object]],
+        as_hedge: bool,
+    ) -> bool:
+        """Try replicas until one accepts the task; ``False`` if none did.
+
+        An injected ``timeout`` marks the attempt a straggler: nothing is
+        pending for it, so the *next* replica tried is by definition the
+        hedge -- deterministic hedging without a wall-clock stall.
+        """
+        while True:
+            node = self._pick(state)
+            if node is None:
+                return False
+            state.tried.add(node.replica_index)
+            state.attempts += 1
+            if state.attempts > 1:
+                with self._lock:
+                    self.failovers += 1
+            verdict = self._consult_plan(node)
+            if verdict is None:
+                future = node.try_submit(task_factory(node))
+                if future is None:
+                    state.last_reason = (
+                        REASON_DOWN if not node.alive else REASON_REFUSED
+                    )
+                    continue
+                state.pending.append((node, future, as_hedge or state.hedged))
+                with self._lock:
+                    self.tasks += 1
+                    if as_hedge or state.hedged:
+                        self.hedges += 1
+                if as_hedge or state.hedged:
+                    state.hedged = True
+                return True
+            state.last_reason = verdict
+            if verdict == REASON_STALLED:
+                # The straggler never answers: every further attempt for
+                # this shard is a hedged duplicate.
+                state.hedged = True
+
+    def _fail(self, state: _ShardState, reason: str) -> ShardOutcome:
+        for _node, future, _hedge in state.pending:
+            future.cancel()
+        with self._lock:
+            if reason == REASON_DEADLINE:
+                self.deadline_misses += 1
+        return ShardOutcome(
+            shard=state.shard,
+            attempts=state.attempts,
+            hedged=state.hedged,
+            reason=reason,
+        )
+
+    def _collect(
+        self,
+        state: _ShardState,
+        task_factory: Callable[[ShardNode], Callable[[], object]],
+    ) -> ShardOutcome:
+        while True:
+            if not state.pending:
+                # Nothing in flight: try to (re)place the task, else fail.
+                if not self._launch(state, task_factory, as_hedge=False):
+                    return self._fail(state, state.last_reason or REASON_DOWN)
+            now = self._clock()
+            if now >= state.deadline:
+                return self._fail(state, REASON_DEADLINE)
+            timeout = state.deadline - now
+            may_hedge = (
+                not state.hedged
+                and len(state.pending) == 1
+                and any(
+                    node.replica_index not in state.tried and node.alive
+                    for node in self.replica_sets[state.shard]
+                )
+            )
+            if may_hedge:
+                timeout = min(timeout, max(0.0, state.hedge_at - now))
+            done, _not_done = wait(
+                [future for _node, future, _hedge in state.pending],
+                timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                if may_hedge and self._clock() >= state.hedge_at:
+                    self._launch(state, task_factory, as_hedge=True)
+                continue
+            for entry in list(state.pending):
+                node, future, is_hedge = entry
+                if future not in done:
+                    continue
+                state.pending.remove(entry)
+                try:
+                    value = future.result()
+                except BaseException:
+                    state.last_reason = REASON_ERROR
+                    continue
+                # First response wins; cancel the losers outright.
+                for _loser_node, loser, _h in state.pending:
+                    loser.cancel()
+                if is_hedge:
+                    with self._lock:
+                        self.hedge_wins += 1
+                return ShardOutcome(
+                    shard=state.shard,
+                    value=value,
+                    replica=node.name,
+                    attempts=state.attempts,
+                    hedged=state.hedged,
+                    hedge_won=is_hedge,
+                )
+
+    def scatter(
+        self, task_factory: Callable[[ShardNode], Callable[[], object]]
+    ) -> list[ShardOutcome]:
+        """Run ``task_factory(node)()`` once per shard; gather per-shard.
+
+        Primaries for every shard are placed before any collection starts
+        (true fan-out); hedges and failovers happen per shard during the
+        gather.  The returned list is ordered by shard index.
+        """
+        with self._lock:
+            self.scatters += 1
+        started = self._clock()
+        states = [
+            _ShardState(
+                shard,
+                deadline=started + self.deadline_seconds,
+                hedge_at=started + self.hedge_after_seconds,
+            )
+            for shard in range(len(self.replica_sets))
+        ]
+        for state in states:
+            self._launch(state, task_factory, as_hedge=False)
+        return [self._collect(state, task_factory) for state in states]
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "scatters": self.scatters,
+                "tasks": self.tasks,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "deadline_misses": self.deadline_misses,
+                "failovers": self.failovers,
+                "injected": dict(sorted(self.injected.items())),
+            }

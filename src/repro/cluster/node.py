@@ -1,0 +1,167 @@
+"""One shard replica: an executor-isolated worker over a shard slice.
+
+A :class:`ShardNode` is the process-level model of one shard server.  It
+owns a private :class:`~repro.search.inverted_index.InvertedIndex` plus
+the shard's documents (exactly the ``_Shard`` slice from
+:mod:`repro.store.sharded`), runs its query work on its *own*
+single-thread executor (no node ever touches another node's state:
+promoting a node to a real process would not change any caller), and
+applies per-node admission control -- a bounded in-flight limit beyond
+which it refuses new work instead of queueing without bound, the same
+degradation contract the :class:`~repro.serve.frontend.QueryFrontend`
+applies at the top of the stack.
+
+``kill()`` / ``revive()`` model replica failure for chaos soaks: a dead
+node refuses query work.  The *write* path deliberately keeps every
+replica of a shard in sync even while dead (re-sync/catch-up protocols
+are out of scope), so a revived replica serves current data immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.search.inverted_index import InvertedIndex
+from repro.store.records import Document
+
+#: The agent name cluster fault plans gate on (mirrors the fetch-side
+#: ``AGENT_*`` constants in :mod:`repro.webspace.loadmeter`).
+AGENT_CLUSTER = "cluster"
+
+
+def replica_name(shard_index: int, replica_index: int) -> str:
+    """The canonical node name fault plans and stats key on."""
+    return f"shard{shard_index}/replica{replica_index}"
+
+
+class ShardNode:
+    """One replica of one shard: index + documents + a private worker."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        replica_index: int,
+        k1: float = 1.5,
+        b: float = 0.75,
+        inflight_limit: int = 8,
+    ) -> None:
+        if inflight_limit <= 0:
+            raise ValueError(f"inflight_limit must be positive, got {inflight_limit}")
+        self.shard_index = shard_index
+        self.replica_index = replica_index
+        self.name = replica_name(shard_index, replica_index)
+        self.index = InvertedIndex(k1=k1, b=b)
+        self.documents: dict[int, Document] = {}
+        self.inflight_limit = inflight_limit
+        self._slots = threading.BoundedSemaphore(inflight_limit)
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._alive = True
+        self._inflight = 0
+        #: Per-replica fault-plan index (consumed only for governed tasks,
+        #: mirroring :class:`~repro.resilience.faults.FaultyWeb` semantics).
+        self._fault_index = 0
+        self.tasks_served = 0
+        self.refused = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def kill(self) -> None:
+        """Take the replica out of query serving (writes stay in sync)."""
+        self._alive = False
+
+    def revive(self) -> None:
+        self._alive = True
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- write path (coordinator thread; replicas stay byte-identical) -------
+
+    def add(self, doc_id: int, tokens: Sequence[str], document: Document) -> None:
+        self.index.add_document(doc_id, tokens)
+        self.documents[doc_id] = document
+
+    # -- query work ----------------------------------------------------------
+
+    def next_fault_index(self) -> int:
+        with self._lock:
+            index = self._fault_index
+            self._fault_index += 1
+            return index
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def try_submit(self, fn, *args) -> Future | None:
+        """Run ``fn(*args)`` on this node's worker, or refuse.
+
+        Returns ``None`` when the node is dead or its admission limit is
+        reached -- the caller (the scatter-gather executor) treats both
+        as this replica failing the request and falls over to another.
+        """
+        if not self._alive:
+            return None
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self.refused += 1
+            return None
+        with self._lock:
+            self._inflight += 1
+            self.tasks_served += 1
+        try:
+            future = self._executor().submit(fn, *args)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+                self.tasks_served -= 1
+            self._slots.release()
+            raise
+
+        def _release(_future: Future) -> None:
+            with self._lock:
+                self._inflight -= 1
+            self._slots.release()
+
+        future.add_done_callback(_release)
+        return future
+
+    def accumulate(
+        self,
+        tokens: Sequence[str],
+        idf_by_term: dict[str, float],
+        average_length: float,
+    ) -> dict[int, float]:
+        """This shard's BM25 contributions under corpus-global ingredients.
+
+        The partial accumulator merges exactly (a document lives in one
+        shard only), so the coordinator's merged ranking is bit-identical
+        to a single global index -- same contract as
+        :meth:`repro.store.sharded.ShardedBackend.search`.
+        """
+        partial: dict[int, float] = {}
+        self.index.accumulate(tokens, idf_by_term, average_length, partial)
+        return partial
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=self.name
+                )
+            return self._pool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "dead"
+        return f"<ShardNode {self.name} {state} docs={len(self.documents)}>"

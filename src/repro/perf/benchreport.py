@@ -22,8 +22,12 @@ byte-identical against direct ``engine.search`` calls), and the
 ``field:value`` structured + table-lookup queries) planned by the
 federated :class:`~repro.query.planner.QueryPlanner` and served as
 plans, output-checked byte-identical against direct
-:class:`~repro.query.executor.QueryExecutor` runs.  The closing
-``warm_restart`` scenario measures the persistence tier: a cold
+:class:`~repro.query.executor.QueryExecutor` runs.  The ``cluster_qps``
+scenario scatters the same corpus across a
+:class:`~repro.cluster.ClusterBackend` at 8 and 32 shards and replays a
+seeded Zipf workload (per-query p50/p99 latency), with every ranking
+output-checked byte-identical against the single-index backend.  The
+closing ``warm_restart`` scenario measures the persistence tier: a cold
 crawl+surface+harvest build against restoring the same service from a
 :meth:`~repro.api.DeepWebService.snapshot` (restored results must be
 byte-identical with zero surfacing fetches), and the ``degraded_qps``
@@ -470,6 +474,78 @@ def run_serve_qps(engine, web: Web, max_workers: int, queries: int = 1000, k: in
     }
 
 
+def run_cluster_qps(
+    engine,
+    web: Web,
+    queries: int = 600,
+    k: int = 10,
+    shard_counts: tuple[int, ...] = (8, 32),
+    replicas: int = 2,
+):
+    """The cluster scenario: the same corpus scattered across shard nodes.
+
+    The already-built single-index backend is exported once; each shard
+    count gets a fresh :class:`~repro.cluster.ClusterBackend` rebuilt from
+    the same records, then answers a seeded Zipf workload query by query
+    (per-query wall-clock -> p50/p99).  Every ranking must be
+    byte-identical to the single-index backend -- hits, scores, order --
+    and a clean run must never report a degraded search, or the report
+    aborts.  The deadline is set far above any realistic scatter so the
+    numbers measure fan-out cost, not deadline clipping.
+    """
+    from repro.cluster import ClusterBackend
+    from repro.util.stats import percentile
+
+    workload = WorkloadGenerator(web, seed="bench-cluster").stream(queries, k=k)
+    token_lists = [tokenize(query.text) for query in workload]
+    reference = engine.backend
+    direct = [reference.search(tokens, limit=k) for tokens in token_lists]
+    records = reference.export_records()
+
+    shapes: dict[str, dict] = {}
+    for shard_count in shard_counts:
+        with ClusterBackend(
+            shard_count=shard_count, replicas=replicas, deadline_seconds=30.0
+        ) as cluster:
+            for rec in records:
+                cluster.add(rec)
+            latencies = []
+            results = []
+            for tokens in token_lists:
+                started = time.perf_counter()
+                results.append(cluster.search(tokens, limit=k))
+                latencies.append(time.perf_counter() - started)
+            if results != direct:
+                raise SystemExit(
+                    f"FATAL: cluster rankings at {shard_count} shards diverged "
+                    "from the single-index backend"
+                )
+            if cluster.consume_degraded():
+                raise SystemExit(
+                    f"FATAL: clean cluster run at {shard_count} shards reported "
+                    "degraded searches"
+                )
+            elapsed = sum(latencies)
+            stats = cluster.cluster_stats()
+            shapes[str(shard_count)] = {
+                "shards": shard_count,
+                "replicas": replicas,
+                "qps": round(len(workload) / elapsed, 1) if elapsed else None,
+                "latency_p50_ms": round(percentile(latencies, 50) * 1000, 4),
+                "latency_p99_ms": round(percentile(latencies, 99) * 1000, 4),
+                "hedges": stats.hedges,
+                "deadline_misses": stats.deadline_misses,
+            }
+    return {
+        "queries": len(workload),
+        "k": k,
+        "routing": "round-robin",
+        "documents": len(records),
+        "by_shard_count": shapes,
+        "identical_to_memory_backend": True,
+    }
+
+
 def run_warm_restart(scale: str, queries: int = 100, k: int = 10):
     """The persistence scenario: cold build-and-surface vs snapshot restore.
 
@@ -727,18 +803,18 @@ def warn_unverified_seed(report: dict) -> None:
 def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path) -> dict:
     seed = None
     if seed_ref:
-        print(f"[1/9] seed reference ({seed_ref}) on scale={scale!r} ...")
+        print(f"[1/10] seed reference ({seed_ref}) on scale={scale!r} ...")
         seed = run_seed_reference(seed_ref, scale, root)
         if seed:
             print(
                 f"      surface_many {seed['surface_many_seconds']:.2f}s, "
                 f"url_scaling {seed['url_scaling_seconds']:.2f}s"
             )
-    print(f"[2/9] baseline surface_many (serial, uncached) on scale={scale!r} ...")
+    print(f"[2/10] baseline surface_many (serial, uncached) on scale={scale!r} ...")
     baseline = run_surface_many(scale, parallel=False, cached=False, max_workers=max_workers)
     print(f"      {baseline['seconds']:.2f}s")
     print(
-        "[3/9] optimized surface_many "
+        "[3/10] optimized surface_many "
         "(cached; serial and parallel interleaved, best of 5) ..."
     )
     optimized_serial, optimized_parallel = run_surface_pair(
@@ -768,14 +844,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         print("      note: seed indexed a different URL count (expected when "
               "behaviour-changing satellites landed); speedups remain workload-level")
 
-    print("[4/9] url-scaling workload (uncached vs cached) ...")
+    print("[4/10] url-scaling workload (uncached vs cached) ...")
     scaling_before = run_url_scaling(cached=False)
     scaling_after = run_url_scaling(cached=True)
     if scaling_before["measurements"] != scaling_after["measurements"]:
         raise SystemExit("FATAL: cached url-scaling output diverged from uncached")
     print(f"      {scaling_before['seconds']:.2f}s -> {scaling_after['seconds']:.2f}s")
 
-    print("[5/9] BM25 micro-benchmark (full sort vs top-k) ...")
+    print("[5/10] BM25 micro-benchmark (full sort vs top-k) ...")
     # Rank over the optimized run's index contents, rebuilt fresh.
     engine = SearchEngine()
     for doc_id, url, host, title, text, source, annotations in optimized["index"]:
@@ -785,14 +861,14 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         )
     bm25 = run_bm25_micro(engine)
 
-    print("[6/9] serve_qps (seeded Zipf workload through the frontend) ...")
+    print("[6/10] serve_qps (seeded Zipf workload through the frontend) ...")
     serve = run_serve_qps(engine, optimized["web"], max_workers)
     print(
         f"      {serve['qps']:.0f} qps, cache hit rate {serve['cache_hit_rate']:.1%}, "
         f"p99 {serve['latency_p99_ms']:.3f}ms"
     )
 
-    print("[7/9] planner_qps (mixed federated workload through plans) ...")
+    print("[7/10] planner_qps (mixed federated workload through plans) ...")
     planner_service = (
         DeepWebService.build().web(optimized["web"]).engine(engine).create()
     )
@@ -802,7 +878,16 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         f"{planner['unique_plans']} unique plans"
     )
 
-    print("[8/9] warm_restart (cold surface vs snapshot restore) ...")
+    print("[8/10] cluster_qps (scatter-gather cluster vs single index) ...")
+    cluster = run_cluster_qps(engine, optimized["web"])
+    for shard_count, shape in cluster["by_shard_count"].items():
+        print(
+            f"      {shard_count} shards x{shape['replicas']}: "
+            f"{shape['qps']:.0f} qps, p50 {shape['latency_p50_ms']:.3f}ms, "
+            f"p99 {shape['latency_p99_ms']:.3f}ms (rankings byte-identical)"
+        )
+
+    print("[9/10] warm_restart (cold surface vs snapshot restore) ...")
     restart = run_warm_restart(scale)
     print(
         f"      cold {restart['cold_build_seconds']:.2f}s -> restore "
@@ -810,7 +895,7 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         "restored results byte-identical, zero surfacing fetches)"
     )
 
-    print("[9/9] degraded_qps (mixed plan workload under injected faults) ...")
+    print("[10/10] degraded_qps (mixed plan workload under injected faults) ...")
     degraded = run_degraded_qps(scale)
     print(
         f"      {degraded['degraded_plans']}/{degraded['queries']} plans degraded at "
@@ -864,6 +949,7 @@ def build_report(scale: str, max_workers: int, seed_ref: str | None, root: Path)
         "bm25_topk": bm25,
         "serve_qps": serve,
         "planner_qps": planner,
+        "cluster_qps": cluster,
         "warm_restart": restart,
         "degraded_qps": degraded,
     }
@@ -873,10 +959,11 @@ def run_smoke(max_workers: int) -> None:
     """CI mode: one tiny iteration of the serving scenarios, identity
     checks only (no timings are recorded, nothing is written).
 
-    Builds a small crawled + surfaced world and runs ``serve_qps`` and
-    ``planner_qps`` once each; both scenarios abort the process when the
-    frontend output diverges from the direct engine/executor runs, which
-    is exactly the regression this mode exists to catch on PRs.
+    Builds a small crawled + surfaced world and runs ``serve_qps``,
+    ``planner_qps`` and ``cluster_qps`` once each; every scenario aborts
+    the process when its output diverges from the direct
+    engine/executor/single-index runs, which is exactly the regression
+    this mode exists to catch on PRs.
     """
     print("smoke: building a small crawled+surfaced world ...")
     service = (
@@ -894,6 +981,8 @@ def run_smoke(max_workers: int) -> None:
     run_serve_qps(service.engine, service.web, max_workers, queries=200)
     print("smoke: planner_qps identity check ...")
     planner = run_planner_qps(service, queries=200)
+    print("smoke: cluster_qps identity check (8 and 32 shards vs single index) ...")
+    run_cluster_qps(service.engine, service.web, queries=120)
     print("smoke: warm_restart identity check ...")
     import shutil
     import tempfile
@@ -952,8 +1041,8 @@ def run_smoke(max_workers: int) -> None:
         )
     print(f"smoke: {comparison.describe()}")
     print(
-        "smoke: OK (serve, planner, restored and degraded outputs verified; "
-        f"plan shapes {planner['plan_shapes']})"
+        "smoke: OK (serve, planner, cluster, restored and degraded outputs "
+        f"verified; plan shapes {planner['plan_shapes']})"
     )
 
 
@@ -1094,6 +1183,14 @@ def main(root: Path | None = None) -> None:
         f"{planner['unique_plans']} unique plans, "
         "byte-identical to direct executor runs)"
     )
+    cluster = report["cluster_qps"]
+    for shard_count, shape in cluster["by_shard_count"].items():
+        print(
+            f"cluster_qps[{shard_count} shards]: {shape['qps']:.0f} qps over "
+            f"{cluster['queries']} queries (p50 {shape['latency_p50_ms']:.3f}ms, "
+            f"p99 {shape['latency_p99_ms']:.3f}ms, "
+            "byte-identical to the single-index backend)"
+        )
     restart = report["warm_restart"]
     print(
         f"warm_restart: cold {restart['cold_build_seconds']:.2f}s -> restore "

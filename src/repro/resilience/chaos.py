@@ -9,7 +9,13 @@ check and the chaos tests:
 
 * **cacheable plans** (no live route) touch only the materialized store,
   so when faults are restricted to query-time agents the faulted execution
-  must be *byte-identical* to the clean one -- hits, scores and order;
+  must be *byte-identical* to the clean one -- hits, scores and order.
+  One carve-out: a store that can degrade *itself* (the cluster backend
+  dropping a shard that missed its deadline) reports it through
+  ``consume_degraded()``, and then the faulted hits may shrink -- but
+  every one of them must appear, score included, in the widened clean
+  ranking.  Shrinkage with identical scores, never substitution, never
+  rescoring of the survivors;
 * **live plans** are compared at identity level ``(url, host, title,
   source)`` against a widened fault-free "universe" execution (every
   route's ``k`` raised, live budget raised, pre-blend contributions kept):
@@ -100,6 +106,17 @@ class DegradedComparison:
         )
 
 
+def _consume_backend_degraded(service) -> bool:
+    """Whether the service's store served recent searches degraded.
+
+    Duck-typed seam for backends that can degrade on their own (the
+    cluster backend's ``consume_degraded``); plain backends report False.
+    Consuming per plan keeps the flag scoped to the execution just run.
+    """
+    consume = getattr(getattr(service, "store", None), "consume_degraded", None)
+    return bool(consume()) if callable(consume) else False
+
+
 def _universe_pool(universe: PlanResult) -> set[tuple[str, str, str, str]]:
     """Identities of everything the fault-free run can return.
 
@@ -138,6 +155,7 @@ def compare_degraded(
         started = time.perf_counter()
         faulted = faulted_service.execute(plan)
         comparison.faulted_seconds += time.perf_counter() - started
+        backend_degraded = _consume_backend_degraded(faulted_service)
         comparison.clean_hits += len(clean.hits)
         comparison.faulted_hits += len(faulted.hits)
         if faulted.degraded:
@@ -145,11 +163,36 @@ def compare_degraded(
         comparison.failed_host_events += len(faulted.failed_hosts)
         if plan.cacheable:
             comparison.cacheable_plans += 1
-            if faulted.hits != clean.hits:
-                comparison.violations.append(
-                    f"{plan.fingerprint()}: cacheable plan not byte-identical "
-                    f"under faults ({len(faulted.hits)} vs {len(clean.hits)} hits)"
+            if faulted.hits == clean.hits:
+                continue
+            if backend_degraded:
+                # The store itself shed work (a cluster shard missed its
+                # deadline or lost every replica).  Hits may shrink -- and
+                # docs from below the clean top-k may legitimately pull up
+                # -- but each faulted hit must match a widened clean hit
+                # exactly, score included.
+                started = time.perf_counter()
+                universe = clean_service.executor.execute(
+                    widen_plan(plan, k=universe_k)
                 )
+                comparison.universe_seconds += time.perf_counter() - started
+                pool = {(hit.route, hit.result) for hit in universe.hits}
+                missing = [
+                    hit for hit in faulted.hits if (hit.route, hit.result) not in pool
+                ]
+                if not missing:
+                    comparison.degraded_plans += 1
+                    continue
+                comparison.violations.append(
+                    f"{plan.fingerprint()}: degraded store returned "
+                    f"{len(missing)} hit(s) absent (or rescored) from the "
+                    "widened clean ranking"
+                )
+                continue
+            comparison.violations.append(
+                f"{plan.fingerprint()}: cacheable plan not byte-identical "
+                f"under faults ({len(faulted.hits)} vs {len(clean.hits)} hits)"
+            )
             continue
         comparison.live_plans += 1
         started = time.perf_counter()

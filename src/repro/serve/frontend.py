@@ -236,13 +236,23 @@ class QueryFrontend:
         """Answer one query synchronously (cache first, then the engine)."""
         return self._serve_timed(query, k)[0]
 
-    def _serve_timed(self, query: str, k: int) -> tuple[list[SearchResult], float]:
+    def _serve_timed(
+        self, query: str, k: int
+    ) -> tuple[list[SearchResult], float, str | None]:
+        """Serve one query, returning ``(results, latency, cache_outcome)``.
+
+        ``cache_outcome`` is ``"hit"``, ``"miss"`` or ``None`` (empty
+        query: no lookup happened).  Workload runs count their own
+        hits/misses from it so concurrent traffic through other entry
+        points cannot pollute a workload's reported stats.
+        """
         if self._closed:
             # A closed frontend no longer hears ingests, so serving from
             # its cache could silently return stale rankings.
             raise RuntimeError("frontend is closed")
         started = self._clock()
         key = normalize_query(query)
+        cache_outcome: str | None = None
         if not key:
             # The empty-query contract: nothing to rank, nothing to cache
             # (an empty key must not occupy a cache slot or skew hit rates).
@@ -254,14 +264,16 @@ class QueryFrontend:
             cached = self.cache.get(key, k)
             if cached is not None:
                 results = list(cached)
+                cache_outcome = "hit"
             else:
                 results = self.engine.search(query, k=k)
                 self.cache.put(key, k, results, generation=generation)
+                cache_outcome = "miss"
         latency = self._clock() - started
         with self._lock:
             self._served += 1
             self._latencies.append(latency)
-        return results, latency
+        return results, latency, cache_outcome
 
     def serve_plan(self, plan: QueryPlan) -> PlanResult:
         """Serve one federated :class:`QueryPlan`.
@@ -356,36 +368,57 @@ class QueryFrontend:
         requests beyond the admission queue are dropped and their
         ``results`` slots are ``None`` -- the load-test mode.
         """
-        served_before, shed_before = self._served, self._shed
-        hits_before, misses_before = self.cache.hits, self.cache.misses
         started = self._clock()
         futures: list[Future | None] = []
+        workload_shed = 0
         for item in queries:
             text, k = self._query_of(item, default_k)
             if shed_on_overload:
                 if not self._slots.acquire(blocking=False):
                     with self._lock:
                         self._shed += 1
+                    workload_shed += 1
                     futures.append(None)
                     continue
             else:
                 self._slots.acquire()
             futures.append(self._submit_held(self._serve_timed, text, k))
-        outcomes = [future.result() if future is not None else None for future in futures]
+        # Gather *every* future before letting an exception escape: a
+        # raising result() must not abandon in-flight requests ungathered
+        # (their admission slots would drain behind the caller's back and
+        # a second failure would be silently lost).  The first exception
+        # is re-raised once, after the whole replay has settled.
+        outcomes: list[tuple[list[SearchResult], float, str | None] | None] = []
+        failure: BaseException | None = None
+        for future in futures:
+            if future is None:
+                outcomes.append(None)
+                continue
+            try:
+                outcomes.append(future.result())
+            except BaseException as error:
+                if failure is None:
+                    failure = error
+                outcomes.append(None)
+        if failure is not None:
+            raise failure
         elapsed = self._clock() - started
         results: list[list[SearchResult] | None] = [
             outcome[0] if outcome is not None else None for outcome in outcomes
         ]
         latencies = [outcome[1] for outcome in outcomes if outcome is not None]
-        with self._lock:
-            stats = ServeStats.from_counters(
-                served=self._served - served_before,
-                shed=self._shed - shed_before,
-                cache_hits=self.cache.hits - hits_before,
-                cache_misses=self.cache.misses - misses_before,
-                latencies=latencies,
-                elapsed_seconds=elapsed,
-            )
+        # Stats come from workload-local accumulators, never from deltas
+        # of the frontend-global counters: a background thread serving
+        # directly during the replay must not pollute this workload's
+        # served/shed/hit-rate numbers.
+        stats = ServeStats.from_counters(
+            served=len(latencies),
+            shed=workload_shed,
+            cache_hits=sum(1 for o in outcomes if o is not None and o[2] == "hit"),
+            cache_misses=sum(1 for o in outcomes if o is not None and o[2] == "miss"),
+            latencies=latencies,
+            elapsed_seconds=elapsed,
+        )
         return WorkloadOutcome(results=results, stats=stats)
 
     @staticmethod
@@ -420,11 +453,15 @@ class QueryFrontend:
     def _executor(self) -> ThreadPoolExecutor:
         if self._closed:
             raise RuntimeError("frontend is closed")
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="query-frontend"
-            )
-        return self._pool
+        # Lazy creation must happen under the lock: two threads racing the
+        # first submit would otherwise each build a pool, and the loser's
+        # pool (with its worker threads) leaks without a shutdown.
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="query-frontend"
+                )
+            return self._pool
 
     def close(self) -> None:
         """Drain the pool and unsubscribe from the ingestor; the frontend

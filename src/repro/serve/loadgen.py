@@ -242,6 +242,54 @@ class WorkloadGenerator:
             agents=agents,
         )
 
+    def replica_fault_schedule(
+        self,
+        shard_count: int,
+        replicas: int,
+        kill: int = 1,
+        outage_window: tuple[int, int] = (5, 20),
+        error_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+    ):
+        """A seeded kill/revive schedule over cluster replica names.
+
+        The cluster counterpart of :meth:`fault_schedule`: ``kill``
+        replicas (sampled from the full ``shard{i}/replica{j}`` roster by
+        a named child of the generator seed) go down hard for scatter
+        indices ``[outage_window[0], outage_window[1])`` -- dead while the
+        soak is mid-flight, revived after -- and every replica optionally
+        gets base ``error_rate``/``timeout_rate`` noise (an injected
+        timeout models a straggler, which triggers a hedge).  Gated on
+        the ``cluster`` agent, so a plan shared with the fetch tier never
+        touches web hosts.
+        """
+        from repro.cluster.node import AGENT_CLUSTER, replica_name
+        from repro.resilience.faults import FaultPlan, FaultSpec
+
+        if shard_count <= 0 or replicas <= 0:
+            raise ValueError(
+                f"shard_count and replicas must be positive, got "
+                f"{shard_count}x{replicas}"
+            )
+        roster = [
+            replica_name(shard, replica)
+            for shard in range(shard_count)
+            for replica in range(replicas)
+        ]
+        if not 0 <= kill <= len(roster):
+            raise ValueError(f"kill must be in [0, {len(roster)}], got {kill}")
+        base = FaultSpec(error_rate=error_rate, timeout_rate=timeout_rate)
+        specs = {name: base for name in roster}
+        start, stop = outage_window
+        rng = self._rng.child("replica-faults")
+        for name in rng.child("outages").sample(roster, kill):
+            specs[name] = replace(specs[name], outages=((start, stop),))
+        return FaultPlan(
+            seed=f"{self._rng.seed}/replica-faults",
+            hosts=specs,
+            agents=(AGENT_CLUSTER,),
+        )
+
     def mixed_stream(
         self,
         count: int,

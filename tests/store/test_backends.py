@@ -126,6 +126,80 @@ class TestShardedSpecifics:
         assert ShardedBackend(4).matching_documents(["x"], require_all=True) == set()
 
 
+class TestShardedBoundaries:
+    """Direct boundary coverage for the sharded backend's own paths.
+
+    These hit ShardedBackend without the engine in front of it: the
+    engine tokenizes/normalizes before calling down, so the raw-backend
+    behaviour on blank and unknown input was previously only covered
+    incidentally by the parametrized contract suite.
+    """
+
+    def test_empty_backend_reads_are_empty_not_errors(self):
+        backend = ShardedBackend(4)
+        assert len(backend) == 0
+        assert backend.search([]) == []
+        assert backend.search([], limit=5) == []
+        assert backend.documents() == []
+        assert backend.documents_for_host("h.test") == []
+        assert backend.export_records() == []
+        assert backend.count_by_source() == {}
+        assert backend.stats().shard_documents == (0, 0, 0, 0)
+
+    def test_blank_and_unknown_term_queries(self):
+        backend = ShardedBackend(4)
+        backend.add(record("u://1", "toyota camry"))
+        backend.add(record("u://2", "honda civic"))
+        assert backend.search([]) == []
+        assert backend.search(["zzz-unknown"]) == []
+        # A mixed query scores only the known term; the unknown one
+        # contributes nothing rather than poisoning the ranking.
+        mixed = backend.search(["toyota", "zzz-unknown"])
+        assert [doc_id for doc_id, _ in mixed] == [1]
+        assert backend.matching_documents([]) == set()
+        assert backend.matching_documents([], require_all=True) == set()
+
+    def test_export_records_round_trip_at_single_shard(self):
+        single = ShardedBackend(1)
+        for index in range(12):
+            single.add(
+                record(
+                    f"u://doc/{index}",
+                    f"alpha shared token{index} token{index}",
+                    source="zeta" if index % 3 else "alpha",
+                )
+            )
+        exported = single.export_records()
+        assert [rec.url for rec in exported] == [f"u://doc/{i}" for i in range(12)]
+        rebuilt = ShardedBackend(1)
+        for rec in exported:
+            rebuilt.add(rec)
+        assert rebuilt.search(["alpha", "shared"], limit=None) == single.search(
+            ["alpha", "shared"], limit=None
+        )
+        assert rebuilt.count_by_source() == single.count_by_source()
+        assert [d.doc_id for d in rebuilt.documents()] == list(range(1, 13))
+
+    def test_documents_for_host_ordering_across_shards(self):
+        backend = ShardedBackend(4)
+        hosts = ("a.test", "b.test")
+        for index in range(30):
+            rec = IngestRecord(
+                url=f"u://mixed/{index}",
+                host=hosts[index % 2],
+                title="t",
+                text=f"token{index}",
+                tokens=[f"token{index}"],
+                source=SOURCE_SURFACE,
+            )
+            backend.add(rec)
+        for host, parity in zip(hosts, (1, 2)):
+            docs = backend.documents_for_host(host)
+            # Ascending doc id regardless of which shard holds each doc.
+            assert [d.doc_id for d in docs] == list(range(parity, 31, 2))
+            assert all(d.host == host for d in docs)
+
+
 class TestIngestor:
     def test_ingest_page_skips_error_pages(self):
         ingestor = Ingestor(InMemoryBackend())
